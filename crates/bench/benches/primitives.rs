@@ -1,0 +1,80 @@
+//! Criterion micro-benchmarks of the simulator primitives, so the harness
+//! itself is performance-regression-tested.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use ztm_cache::{AccessClass, CacheGeometry, CohState, PrivateCache, StoreCache};
+use ztm_core::{TbeginParams, TxEngine};
+use ztm_mem::{Address, LineAddr, MainMemory};
+use ztm_sim::{System, SystemConfig};
+use ztm_workloads::pool::{PoolLayout, PoolWorkload, SyncMethod};
+
+fn bench_cache_hit_path(c: &mut Criterion) {
+    let mut cache = PrivateCache::new(CacheGeometry::zec12());
+    cache.install(
+        LineAddr::new(1),
+        CohState::Exclusive,
+        AccessClass::Fetch,
+        false,
+    );
+    c.bench_function("l1_hit_lookup", |b| {
+        b.iter(|| black_box(cache.lookup(black_box(LineAddr::new(1)), AccessClass::Fetch)))
+    });
+}
+
+fn bench_store_cache_gather(c: &mut Criterion) {
+    c.bench_function("store_cache_gather_64", |b| {
+        b.iter(|| {
+            let mut sc = StoreCache::new(64);
+            for i in 0..64u64 {
+                sc.store(Address::new(i * 8), &[1u8; 8], true, false);
+            }
+            black_box(sc.tx_entries())
+        })
+    });
+}
+
+fn bench_tx_begin_end(c: &mut Criterion) {
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    let mut rng = SmallRng::seed_from_u64(1);
+    let mut tx = TxEngine::default();
+    let grs = [0u64; 16];
+    c.bench_function("tx_begin_commit", |b| {
+        b.iter(|| {
+            tx.begin(TbeginParams::new(), false, &grs, 0, 6, &mut rng)
+                .unwrap();
+            black_box(tx.tend())
+        })
+    });
+}
+
+fn bench_memory_image(c: &mut Criterion) {
+    let mut mem = MainMemory::new();
+    c.bench_function("memory_store_load_u64", |b| {
+        b.iter(|| {
+            mem.store_u64(Address::new(0x1000), 7);
+            black_box(mem.load_u64(Address::new(0x1000)))
+        })
+    });
+}
+
+fn bench_system_steps(c: &mut Criterion) {
+    c.bench_function("pool_tbeginc_2cpu_50ops", |b| {
+        b.iter(|| {
+            let wl = PoolWorkload::new(PoolLayout::new(16, 1), SyncMethod::Tbeginc, 1);
+            let mut sys = System::new(SystemConfig::with_cpus(2));
+            black_box(wl.run(&mut sys, 50).committed_ops())
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_cache_hit_path,
+    bench_store_cache_gather,
+    bench_tx_begin_end,
+    bench_memory_image,
+    bench_system_steps
+);
+criterion_main!(benches);

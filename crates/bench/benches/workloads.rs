@@ -1,0 +1,82 @@
+//! Criterion benchmarks of simulator performance on the main workloads —
+//! guards against regressions in the hot simulation paths (steps/second),
+//! not in the simulated results.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use ztm_sim::{System, SystemConfig};
+use ztm_workloads::bank::{Bank, BankMethod};
+use ztm_workloads::hashtable::{HashTable, TableMethod};
+use ztm_workloads::pool::{PoolLayout, PoolWorkload, SyncMethod};
+use ztm_workloads::queue::{ConcurrentQueue, QueueMethod};
+
+fn bench_pool_methods(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pool_4cpu_40ops");
+    for (name, method) in [
+        ("lock", SyncMethod::CoarseLock),
+        ("tbegin", SyncMethod::Tbegin),
+        ("tbeginc", SyncMethod::Tbeginc),
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &method, |b, &m| {
+            b.iter(|| {
+                let wl = PoolWorkload::new(PoolLayout::new(16, 1), m, 1);
+                let mut sys = System::new(SystemConfig::with_cpus(4));
+                black_box(wl.run(&mut sys, 40).committed_ops())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_contended_pool(c: &mut Criterion) {
+    c.bench_function("pool_hot_8cpu", |b| {
+        b.iter(|| {
+            let wl = PoolWorkload::new(PoolLayout::new(4, 1), SyncMethod::Tbegin, 1);
+            let mut sys = System::new(SystemConfig::with_cpus(8));
+            black_box(wl.run(&mut sys, 25).committed_ops())
+        })
+    });
+}
+
+fn bench_hashtable(c: &mut Criterion) {
+    c.bench_function("hashtable_elision_4cpu", |b| {
+        b.iter(|| {
+            let t = HashTable::new(256, 1024, 20, TableMethod::Elision);
+            let mut sys = System::new(SystemConfig::with_cpus(4));
+            t.populate(&mut sys, &(0..256).collect::<Vec<_>>());
+            black_box(t.run(&mut sys, 30).committed_ops())
+        })
+    });
+}
+
+fn bench_queue(c: &mut Criterion) {
+    c.bench_function("queue_tbeginc_4cpu", |b| {
+        b.iter(|| {
+            let q = ConcurrentQueue::new(QueueMethod::Tbeginc);
+            let mut sys = System::new(SystemConfig::with_cpus(4));
+            q.seed(&mut sys, 16);
+            black_box(q.run(&mut sys, 30).committed_ops())
+        })
+    });
+}
+
+fn bench_bank(c: &mut Criterion) {
+    c.bench_function("bank_tbeginc_4cpu", |b| {
+        b.iter(|| {
+            let bank = Bank::new(16, BankMethod::Tbeginc);
+            let mut sys = System::new(SystemConfig::with_cpus(4));
+            bank.open(&mut sys, 1_000);
+            black_box(bank.run(&mut sys, 30).committed_ops())
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_pool_methods,
+    bench_contended_pool,
+    bench_hashtable,
+    bench_queue,
+    bench_bank
+);
+criterion_main!(benches);

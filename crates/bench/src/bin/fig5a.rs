@@ -1,0 +1,62 @@
+//! Figure 5(a): TX vs locks, four variables, pool sizes 1k and 10k.
+//!
+//! Expected shape (paper): the coarse lock shows step-function drops at
+//! chip/MCM boundaries and very poor throughput at high CPU counts;
+//! transactions scale well. With pool 1k, TBEGIN drops steeply past a
+//! threshold but still beats the lock. At 100 CPUs, TBEGINC on the large
+//! pool reaches ~99.8% of the unsynchronized upper bound.
+
+use ztm_bench::{cpu_counts, print_header, print_row, quick, reference_throughput, run_pool};
+use ztm_workloads::pool::SyncMethod;
+
+fn main() {
+    let pools: [u64; 2] = if quick() {
+        [200, 1_000]
+    } else {
+        [1_000, 10_000]
+    };
+    println!(
+        "Fig 5(a): TX vs locks, 4 variables, pool sizes {} and {}",
+        pools[0], pools[1]
+    );
+    println!("(normalized: 100 = 2 CPUs, single variable, pool of 1)");
+    println!();
+    let reference = reference_throughput(42);
+    print_header(
+        "CPUs",
+        &[
+            &format!("Lock {}", pools[0]),
+            &format!("TBEGINC {}", pools[0]),
+            &format!("TBEGIN {}", pools[0]),
+            &format!("Lock {}", pools[1]),
+            &format!("TBEGINC {}", pools[1]),
+            &format!("TBEGIN {}", pools[1]),
+        ]
+        .iter()
+        .map(|s| s.as_str())
+        .collect::<Vec<_>>(),
+    );
+    for cpus in cpu_counts() {
+        let mut row = Vec::new();
+        for pool in pools {
+            for method in [
+                SyncMethod::CoarseLock,
+                SyncMethod::Tbeginc,
+                SyncMethod::Tbegin,
+            ] {
+                row.push(run_pool(method, cpus, pool, 4, 42).normalized_throughput(reference));
+            }
+        }
+        // Reorder: pool0 (lock, tbeginc, tbegin), pool1 (...)
+        print_row(cpus, &row);
+    }
+    println!();
+    // The "99.8% of no locking" comparison at the largest CPU count.
+    let cpus = *cpu_counts().last().expect("non-empty sweep");
+    let none = run_pool(SyncMethod::None, cpus, pools[1], 4, 42).throughput();
+    let tbc = run_pool(SyncMethod::Tbeginc, cpus, pools[1], 4, 42).throughput();
+    println!(
+        "TBEGINC at {cpus} CPUs = {:.1}% of unsynchronized throughput (paper: 99.8%)",
+        100.0 * tbc / none
+    );
+}

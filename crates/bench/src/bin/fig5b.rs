@@ -1,0 +1,29 @@
+//! Figure 5(b): TX vs locks, single variable, pool size 10.
+//!
+//! Expected shape (paper): coarse locking yields very poor throughput; fine
+//! locking is better but flat/declining beyond ~10 CPUs; transactions grow
+//! up to the MCM size (24 CPUs in the tested system), hold steady beyond,
+//! and win across the whole range.
+
+use ztm_bench::{cpu_counts, print_header, print_row, reference_throughput, run_pool};
+use ztm_workloads::pool::SyncMethod;
+
+fn main() {
+    println!("Fig 5(b): TX vs locks, single variable, pool size 10");
+    println!("(normalized: 100 = 2 CPUs, single variable, pool of 1)");
+    println!();
+    let reference = reference_throughput(42);
+    print_header("CPUs", &["CoarseLock", "FineLock", "TBEGINC", "TBEGIN"]);
+    for cpus in cpu_counts() {
+        let row: Vec<f64> = [
+            SyncMethod::CoarseLock,
+            SyncMethod::FineLock,
+            SyncMethod::Tbeginc,
+            SyncMethod::Tbegin,
+        ]
+        .into_iter()
+        .map(|m| run_pool(m, cpus, 10, 1, 42).normalized_throughput(reference))
+        .collect();
+        print_row(cpus, &row);
+    }
+}

@@ -1,0 +1,34 @@
+//! Figure 5(c): TX vs coarse lock, four variables, pool size 10.
+//!
+//! Expected shape (paper): transactions win slightly up to ~6 CPUs, but as
+//! contention grows the lock wins — a transaction must collect all four
+//! lines before committing and is vulnerable while waiting, wasting cache
+//! transfers on aborts, whereas a lock holder always finishes. Under
+//! extreme contention TBEGINC degrades more gracefully than TBEGIN because
+//! the millicode retry ladder turns speculative fetching off (§IV).
+
+use ztm_bench::{cpu_counts, print_header, print_row, reference_throughput, run_pool};
+use ztm_workloads::pool::SyncMethod;
+
+fn main() {
+    println!("Fig 5(c): TX vs coarse lock, 4 variables, pool size 10");
+    println!("(normalized: 100 = 2 CPUs, single variable, pool of 1)");
+    println!();
+    let reference = reference_throughput(42);
+    print_header("CPUs", &["Lock", "TBEGINC", "TBEGIN", "abrt%C", "abrt%N"]);
+    for cpus in cpu_counts() {
+        let lock = run_pool(SyncMethod::CoarseLock, cpus, 10, 4, 42);
+        let tbc = run_pool(SyncMethod::Tbeginc, cpus, 10, 4, 42);
+        let tbn = run_pool(SyncMethod::Tbegin, cpus, 10, 4, 42);
+        print_row(
+            cpus,
+            &[
+                lock.normalized_throughput(reference),
+                tbc.normalized_throughput(reference),
+                tbn.normalized_throughput(reference),
+                100.0 * tbc.abort_rate(),
+                100.0 * tbn.abort_rate(),
+            ],
+        );
+    }
+}

@@ -1,0 +1,31 @@
+//! Figure 5(d): read-write lock vs constrained transactions, four variables
+//! read, pool size 10k.
+//!
+//! Expected shape (paper): the rwlock's reader-count updates ping-pong the
+//! lock-word line between CPUs and cap throughput; transactional readers
+//! share everything read-only and scale almost linearly.
+
+use ztm_bench::{cpu_counts, ops_for, print_header, print_row, quick, reference_throughput};
+use ztm_sim::{System, SystemConfig};
+use ztm_workloads::rwlock::{ReadMethod, ReadWorkload};
+
+fn main() {
+    let pool: u64 = if quick() { 1_000 } else { 10_000 };
+    println!("Fig 5(d): R/W lock vs TBEGINC, 4 variables read, pool {pool}");
+    println!("(normalized: 100 = 2 CPUs, single variable, pool of 1)");
+    println!();
+    let reference = reference_throughput(42);
+    print_header("CPUs", &["R/W Lock", "TBEGINC"]);
+    for cpus in cpu_counts() {
+        let row: Vec<f64> = [ReadMethod::RwLock, ReadMethod::Tbeginc]
+            .into_iter()
+            .map(|m| {
+                let wl = ReadWorkload::new(pool, m);
+                let mut sys = System::new(SystemConfig::with_cpus(cpus).seed(42));
+                wl.run(&mut sys, ops_for(cpus))
+                    .normalized_throughput(reference)
+            })
+            .collect();
+        print_row(cpus, &row);
+    }
+}

@@ -1,0 +1,37 @@
+//! Figure 5(e): lock-elided hashtable.
+//!
+//! Expected shape (paper): with the global lock, throughput is flat as
+//! threads are added; with transactional lock elision it grows almost
+//! linearly.
+
+use ztm_bench::{ops_for, print_header, print_row, quick};
+use ztm_sim::{System, SystemConfig};
+use ztm_workloads::hashtable::{HashTable, TableMethod};
+
+fn main() {
+    println!("Fig 5(e): java/util/Hashtable-style lock elision (20% puts)");
+    println!("(throughput normalized to 1 thread under the global lock)");
+    println!();
+    let threads: Vec<usize> = if quick() {
+        vec![1, 2, 4, 6]
+    } else {
+        vec![1, 2, 3, 4, 5, 6, 7, 8]
+    };
+    let run = |method, cpus: usize| {
+        let t = HashTable::new(512, 2048, 20, method);
+        let mut sys = System::new(SystemConfig::with_cpus(cpus).seed(42));
+        t.populate(&mut sys, &(0..1024).collect::<Vec<_>>());
+        t.run(&mut sys, ops_for(cpus).min(150)).throughput()
+    };
+    let base = run(TableMethod::GlobalLock, 1);
+    print_header("threads", &["Locks", "TBEGIN"]);
+    for &n in &threads {
+        print_row(
+            n,
+            &[
+                run(TableMethod::GlobalLock, n) / base,
+                run(TableMethod::Elision, n) / base,
+            ],
+        );
+    }
+}

@@ -1,0 +1,36 @@
+//! E2 (§IV text): ConcurrentLinkedQueue with constrained transactions.
+//!
+//! The paper reports throughput exceeding locks by a factor of about 2.
+
+use ztm_bench::{ops_for, print_header, print_row, quick};
+use ztm_sim::{System, SystemConfig};
+use ztm_workloads::queue::{ConcurrentQueue, QueueMethod};
+
+fn main() {
+    println!("E2: concurrent queue — global lock vs constrained transactions");
+    println!();
+    let counts: Vec<usize> = if quick() {
+        vec![2, 4, 8]
+    } else {
+        vec![2, 4, 6, 8, 12, 16]
+    };
+    let run = |method, cpus: usize| {
+        let q = ConcurrentQueue::new(method);
+        let mut sys = System::new(SystemConfig::with_cpus(cpus).seed(42));
+        q.seed(&mut sys, 64);
+        q.run(&mut sys, ops_for(cpus).min(150)).throughput()
+    };
+    print_header("CPUs", &["Lock", "TBEGINC", "ratio"]);
+    let mut last_ratio = 0.0;
+    for &n in &counts {
+        let lock = run(QueueMethod::Lock, n);
+        let tx = run(QueueMethod::Tbeginc, n);
+        last_ratio = tx / lock;
+        print_row(n, &[lock * 1e4, tx * 1e4, last_ratio]);
+    }
+    println!();
+    println!(
+        "TBEGINC / Lock at {} CPUs = {last_ratio:.2}x (paper: ~2x)",
+        counts.last().unwrap()
+    );
+}

@@ -1,0 +1,108 @@
+//! Shared harness for the figure-regeneration binaries.
+//!
+//! One binary per table/figure of the paper's §IV (see DESIGN.md's
+//! per-experiment index):
+//!
+//! | Binary | Reproduces |
+//! |---|---|
+//! | `fig_uncontended` | E1: single-CPU TX vs lock (~30%), TBEGINC vs TBEGIN (~0.4%) |
+//! | `fig5a` | Fig 5(a): TX vs locks, 4 vars, pools 1k/10k |
+//! | `fig5b` | Fig 5(b): single var, pool 10, coarse/fine/TBEGINC/TBEGIN |
+//! | `fig5c` | Fig 5(c): 4 vars, pool 10 |
+//! | `fig5d` | Fig 5(d): read-write lock vs TBEGINC, 4-var reads, pool 10k |
+//! | `fig5e` | Fig 5(e): lock-elided hashtable |
+//! | `fig5f` | Fig 5(f): LRU-extension effect on the fetch footprint |
+//! | `fig_queue` | E2: ConcurrentLinkedQueue, constrained TX ≈ 2× locks |
+//! | `ablation_stiffarm` | E3: XI reject (stiff-arming) on/off |
+//! | `ablation_retry_ladder` | E4: constrained-retry ladder stages |
+//!
+//! Run them in release mode, e.g.
+//! `cargo run --release -p ztm-bench --bin fig5b`.
+//! Set `ZTM_QUICK=1` for a reduced sweep.
+
+use ztm_sim::{System, SystemConfig};
+use ztm_workloads::pool::{PoolLayout, PoolWorkload, SyncMethod};
+use ztm_workloads::WorkloadReport;
+
+/// The CPU counts on the paper's x-axes (2…100).
+pub const CPU_COUNTS: [usize; 12] = [2, 3, 4, 5, 6, 8, 10, 20, 40, 60, 80, 100];
+
+/// A reduced sweep for quick runs (`ZTM_QUICK=1`).
+pub const CPU_COUNTS_QUICK: [usize; 6] = [2, 4, 6, 10, 20, 40];
+
+/// The CPU counts to sweep, honoring `ZTM_QUICK`.
+pub fn cpu_counts() -> Vec<usize> {
+    if quick() {
+        CPU_COUNTS_QUICK.to_vec()
+    } else {
+        CPU_COUNTS.to_vec()
+    }
+}
+
+/// Whether quick mode is on (smaller sweeps for CI/tests).
+pub fn quick() -> bool {
+    std::env::var("ZTM_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+}
+
+/// Operations per CPU, scaled down as CPU counts grow so total work stays
+/// bounded under heavy serialization.
+pub fn ops_for(cpus: usize) -> u64 {
+    let budget = if quick() { 2_000 } else { 6_000 };
+    (budget / cpus as u64).clamp(30, 400)
+}
+
+/// Runs one pool-workload point.
+pub fn run_pool(
+    method: SyncMethod,
+    cpus: usize,
+    pool: u64,
+    vars: usize,
+    seed: u64,
+) -> WorkloadReport {
+    let wl = PoolWorkload::new(PoolLayout::new(pool, vars), method, seed);
+    let mut sys = System::new(SystemConfig::with_cpus(cpus).seed(seed));
+    wl.run(&mut sys, ops_for(cpus))
+}
+
+/// The paper's normalization reference: the throughput of 2 CPUs updating a
+/// single variable from a pool of 1 (coarse lock); figures divide by this
+/// and multiply by 100.
+pub fn reference_throughput(seed: u64) -> f64 {
+    run_pool(SyncMethod::CoarseLock, 2, 1, 1, seed).throughput()
+}
+
+/// Prints a table header: first column label plus one column per series.
+pub fn print_header(x_label: &str, series: &[&str]) {
+    print!("{x_label:>8}");
+    for s in series {
+        print!("{s:>14}");
+    }
+    println!();
+}
+
+/// Prints one row of values.
+pub fn print_row(x: impl std::fmt::Display, values: &[f64]) {
+    print!("{x:>8}");
+    for v in values {
+        print!("{v:>14.1}");
+    }
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ops_scale_down_with_cpus() {
+        assert!(ops_for(2) >= ops_for(100));
+        assert!(ops_for(100) >= 30);
+    }
+
+    #[test]
+    fn reference_is_positive() {
+        assert!(reference_throughput(1) > 0.0);
+    }
+}

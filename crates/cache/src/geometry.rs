@@ -1,0 +1,90 @@
+//! Cache geometry and transactional-tracking configuration knobs.
+
+/// Geometry and policy knobs of one CPU's private cache unit.
+///
+/// Defaults reproduce the zEC12 (§III.A): L1 96 KB = 64 sets × 6 ways ×
+/// 256-byte lines; L2 1 MB = 512 sets × 8 ways; gathering store cache of 64
+/// entries × 128 bytes. The booleans are the ablation knobs called out in
+/// DESIGN.md.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheGeometry {
+    /// L1 congruence classes ("rows"). zEC12: 64.
+    pub l1_sets: usize,
+    /// L1 associativity. zEC12: 6.
+    pub l1_ways: usize,
+    /// L2 congruence classes. zEC12: 512.
+    pub l2_sets: usize,
+    /// L2 associativity. zEC12: 8.
+    pub l2_ways: usize,
+    /// Gathering store cache entries (each 128 bytes). zEC12: 64.
+    pub store_cache_entries: usize,
+    /// Whether the L1 LRU-extension vector is present (§III.C). When false,
+    /// evicting a tx-read line from the L1 is an immediate fetch-overflow
+    /// abort — the "No LRU extension: 64x6way" curve of Fig 5(f).
+    pub lru_extension: bool,
+    /// Whether the LSU/store-cache rejects conflicting XIs ("stiff-arming",
+    /// §III.C) instead of aborting on first conflict.
+    pub stiff_arm: bool,
+    /// Consecutive XI rejects (without completing an instruction) after which
+    /// the transaction aborts to avoid cross-CPU hangs.
+    pub xi_reject_threshold: u32,
+}
+
+impl CacheGeometry {
+    /// The zEC12 geometry with both transactional-tracking features enabled.
+    pub fn zec12() -> Self {
+        CacheGeometry {
+            l1_sets: 64,
+            l1_ways: 6,
+            l2_sets: 512,
+            l2_ways: 8,
+            store_cache_entries: 64,
+            lru_extension: true,
+            stiff_arm: true,
+            xi_reject_threshold: 16,
+        }
+    }
+
+    /// L1 capacity in bytes.
+    pub fn l1_bytes(&self) -> usize {
+        self.l1_sets * self.l1_ways * ztm_mem::LINE_SIZE as usize
+    }
+
+    /// L2 capacity in bytes.
+    pub fn l2_bytes(&self) -> usize {
+        self.l2_sets * self.l2_ways * ztm_mem::LINE_SIZE as usize
+    }
+
+    /// Maximum transactional store footprint in bytes (store cache bound,
+    /// §III.D: 64 × 128 bytes = 8 KB on the zEC12).
+    pub fn max_store_footprint_bytes(&self) -> usize {
+        self.store_cache_entries * ztm_mem::HALF_LINE_SIZE as usize
+    }
+}
+
+impl Default for CacheGeometry {
+    fn default() -> Self {
+        CacheGeometry::zec12()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zec12_capacities_match_paper() {
+        let g = CacheGeometry::zec12();
+        assert_eq!(g.l1_bytes(), 96 * 1024);
+        assert_eq!(g.l2_bytes(), 1024 * 1024);
+        assert_eq!(g.max_store_footprint_bytes(), 8 * 1024);
+    }
+
+    #[test]
+    fn default_enables_tracking_features() {
+        let g = CacheGeometry::default();
+        assert!(g.lru_extension);
+        assert!(g.stiff_arm);
+        assert!(g.xi_reject_threshold > 0);
+    }
+}

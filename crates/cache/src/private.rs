@@ -1,0 +1,727 @@
+//! The per-CPU private cache unit: L1 + L2 directories with transactional
+//! footprint tracking (§III.C), the LRU-extension vector, and XI handling
+//! with stiff-arming.
+
+use crate::store_cache::{DrainWrite, StoreCache, StoreOutcome};
+use crate::{CacheGeometry, CpuId, FootprintEvent, SetAssoc, Xi, XiKind, XiResponse};
+use std::collections::HashMap;
+use ztm_mem::{Address, LineAddr};
+
+/// Coherence state of a line in the private cache unit (MESI variant of the
+/// paper: lines are owned read-only/shared or exclusive; the store-through
+/// L1/L2 never hold dirty data).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CohState {
+    /// Owned read-only (shared).
+    ReadOnly,
+    /// Owned exclusive.
+    Exclusive,
+}
+
+/// L1 directory entry: the paper moved the valid bits into latches and added
+/// the tx-read / tx-dirty bits (§III.C). Presence in the [`SetAssoc`] is the
+/// valid bit.
+#[derive(Debug, Clone, Copy, Default)]
+struct L1Entry {
+    tx_read: bool,
+    tx_dirty: bool,
+}
+
+/// L2 directory entry; the unit's coherence state lives here (the L1 is
+/// inclusive in the L2 and shares the state).
+#[derive(Debug, Clone, Copy)]
+struct L2Entry {
+    state: CohState,
+}
+
+/// What a local lookup found, before going to the fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LocalHit {
+    /// Present in the L1 with sufficient ownership.
+    L1,
+    /// Present in the L2 with sufficient ownership (L1 install needed).
+    L2,
+    /// Not present, or present read-only when exclusive is needed: the
+    /// coherence fabric must be consulted. `held_read_only` reports whether
+    /// this is an ownership upgrade.
+    Miss {
+        /// The unit already holds the line read-only (upgrade request).
+        held_read_only: bool,
+    },
+}
+
+/// The class of a CPU memory access, as seen by the cache unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessClass {
+    /// An instruction or operand fetch (read).
+    Fetch,
+    /// An operand store (needs exclusive ownership).
+    Store,
+}
+
+/// Result of installing a fabric-granted line, or completing an access:
+/// footprint events for the transaction engine plus lines this unit lost
+/// (which the caller must report to the fabric).
+#[derive(Debug, Clone, Default)]
+pub struct InstallOutcome {
+    /// Transactional footprint consequences (overflows, LRU-XI hits).
+    pub events: Vec<FootprintEvent>,
+    /// Lines evicted from the L2 (and thus from the whole unit).
+    pub lost_lines: Vec<LineAddr>,
+}
+
+/// Result of delivering an XI to this unit.
+#[derive(Debug, Clone)]
+pub struct XiOutcome {
+    /// Accept or reject (stiff-arm).
+    pub response: XiResponse,
+    /// Footprint events (conflict aborts) triggered by an accepted XI.
+    pub events: Vec<FootprintEvent>,
+}
+
+/// One CPU's private cache unit: store-through L1 and L2 directories
+/// (inclusive), the 64-row LRU-extension vector, the gathering store cache,
+/// and the XI-reject counter.
+///
+/// The unit tracks *which* lines are cached and their transactional marking;
+/// line *data* lives in the committed [`ztm_mem::MainMemory`] image overlaid
+/// by this unit's [`StoreCache`] (speculative bytes), which is how isolation
+/// falls out: speculative data is physically unreachable from other CPUs.
+#[derive(Debug, Clone)]
+pub struct PrivateCache {
+    geom: CacheGeometry,
+    l1: SetAssoc<L1Entry>,
+    l2: SetAssoc<L2Entry>,
+    /// One bit per L1 row: a tx-read line was evicted from this row (§III.C).
+    lru_ext: Vec<bool>,
+    store_cache: StoreCache,
+    in_tx: bool,
+    /// XI rejects per interrogating CPU since this CPU last completed an
+    /// instruction. The hang-avoidance threshold (§III.C) counts repeated
+    /// denial of the *same* requester: a CPU that merely has a long fetch
+    /// in flight rejects many different requesters once or twice each,
+    /// which is not a hang.
+    reject_counts: HashMap<CpuId, u32>,
+}
+
+impl PrivateCache {
+    /// Creates a private cache unit with the given geometry.
+    pub fn new(geom: CacheGeometry) -> Self {
+        PrivateCache {
+            l1: SetAssoc::new(geom.l1_sets, geom.l1_ways),
+            l2: SetAssoc::new(geom.l2_sets, geom.l2_ways),
+            lru_ext: vec![false; geom.l1_sets],
+            store_cache: StoreCache::new(geom.store_cache_entries),
+            geom,
+            in_tx: false,
+            reject_counts: HashMap::new(),
+        }
+    }
+
+    /// The unit's geometry.
+    pub fn geometry(&self) -> &CacheGeometry {
+        &self.geom
+    }
+
+    /// Whether the unit is currently tracking a transaction footprint.
+    pub fn in_tx(&self) -> bool {
+        self.in_tx
+    }
+
+    /// Read access to the gathering store cache (for statistics).
+    pub fn store_cache(&self) -> &StoreCache {
+        &self.store_cache
+    }
+
+    /// Current coherence state of a line in this unit.
+    pub fn state_of(&self, line: LineAddr) -> Option<CohState> {
+        self.l2.peek(line).map(|e| e.state)
+    }
+
+    /// Number of L1 rows with the LRU-extension bit set.
+    pub fn lru_ext_rows(&self) -> usize {
+        self.lru_ext.iter().filter(|b| **b).count()
+    }
+
+    /// Number of L1 lines currently marked tx-read.
+    pub fn tx_read_lines(&self) -> usize {
+        self.l1.iter().filter(|(_, e)| e.tx_read).count()
+    }
+
+    // ------------------------------------------------------------------
+    // Access path
+    // ------------------------------------------------------------------
+
+    /// Local lookup for an access; decides whether the fabric is needed.
+    pub fn lookup(&mut self, line: LineAddr, class: AccessClass) -> LocalHit {
+        let need_excl = class == AccessClass::Store;
+        match self.l2.peek(line).map(|e| e.state) {
+            Some(state) => {
+                if need_excl && state == CohState::ReadOnly {
+                    LocalHit::Miss {
+                        held_read_only: true,
+                    }
+                } else if self.l1.contains(line) {
+                    self.l1.get(line); // touch LRU
+                    self.l2.get(line);
+                    LocalHit::L1
+                } else {
+                    LocalHit::L2
+                }
+            }
+            None => LocalHit::Miss {
+                held_read_only: false,
+            },
+        }
+    }
+
+    /// Installs a line granted by the fabric (or upgrades it), placing it in
+    /// both the L2 and L1 and applying the transactional marking for the
+    /// access that triggered the fetch.
+    pub fn install(
+        &mut self,
+        line: LineAddr,
+        state: CohState,
+        class: AccessClass,
+        tx: bool,
+    ) -> InstallOutcome {
+        let mut out = InstallOutcome::default();
+        match self.l2.get(line) {
+            Some(e) => e.state = state,
+            None => {
+                let protected = self.l2_protected_lines();
+                let evicted = self.l2.insert(line, L2Entry { state }, |l, _| {
+                    u8::from(protected.binary_search(&l).is_ok())
+                });
+                if let Some((vline, _)) = evicted {
+                    self.lru_evict_from_l2(vline, &mut out);
+                }
+            }
+        }
+        self.install_l1(line, &mut out);
+        self.mark(line, class, tx);
+        out
+    }
+
+    /// Completes an access that hit locally ([`LocalHit::L1`]/[`LocalHit::L2`]):
+    /// installs into the L1 if needed and applies transactional marking.
+    pub fn complete_local(
+        &mut self,
+        line: LineAddr,
+        class: AccessClass,
+        tx: bool,
+    ) -> InstallOutcome {
+        let mut out = InstallOutcome::default();
+        debug_assert!(self.l2.contains(line), "local completion without L2 line");
+        if !self.l1.contains(line) {
+            self.install_l1(line, &mut out);
+        }
+        self.mark(line, class, tx);
+        out
+    }
+
+    fn install_l1(&mut self, line: LineAddr, out: &mut InstallOutcome) {
+        if self.l1.contains(line) {
+            return;
+        }
+        let evicted = self.l1.insert(line, L1Entry::default(), |_, e| {
+            if e.tx_read {
+                2
+            } else if e.tx_dirty {
+                1
+            } else {
+                0
+            }
+        });
+        if let Some((vline, ventry)) = evicted {
+            // tx-dirty lines may leave the L1 (data is safe in the store
+            // cache and the line stays in the L2, §III.C). tx-read lines
+            // set the LRU-extension bit, or abort without the extension.
+            if ventry.tx_read {
+                if self.geom.lru_extension {
+                    let row = vline.congruence_class(self.geom.l1_sets);
+                    self.lru_ext[row] = true;
+                } else {
+                    out.events
+                        .push(FootprintEvent::FetchOverflow { line: vline });
+                }
+            }
+        }
+    }
+
+    /// Applies tx-read / tx-dirty marking for a completed access.
+    fn mark(&mut self, line: LineAddr, class: AccessClass, tx: bool) {
+        if let Some(e) = self.l1.peek_mut(line) {
+            if tx {
+                match class {
+                    AccessClass::Fetch => e.tx_read = true,
+                    AccessClass::Store => e.tx_dirty = true,
+                }
+            }
+        }
+    }
+
+    /// Sorted list of lines the L2 should prefer to keep: transactional store
+    /// lines (must stay resident, §III.D) and L1 tx-read lines.
+    fn l2_protected_lines(&self) -> Vec<LineAddr> {
+        let mut lines = self.store_cache.tx_lines();
+        for (l, e) in self.l1.iter() {
+            if e.tx_read || e.tx_dirty {
+                lines.push(l);
+            }
+        }
+        lines.sort_unstable();
+        lines.dedup();
+        lines
+    }
+
+    /// Handles an L2 eviction: the inclusivity rule forces the line out of
+    /// the L1 too (an internal LRU XI), with transactional consequences.
+    fn lru_evict_from_l2(&mut self, vline: LineAddr, out: &mut InstallOutcome) {
+        out.lost_lines.push(vline);
+        self.store_cache.drain_line(vline);
+        let row = vline.congruence_class(self.geom.l1_sets);
+        if let Some(e) = self.l1.remove(vline) {
+            if e.tx_dirty {
+                // A transactionally dirty line must stay in the L2 (§III.D).
+                out.events
+                    .push(FootprintEvent::StoreOverflow { line: Some(vline) });
+            } else if e.tx_read {
+                out.events
+                    .push(FootprintEvent::FetchOverflow { line: vline });
+            }
+        } else if self.in_tx && self.lru_ext[row] {
+            // The internal LRU XI hits a valid extension row: tracking for
+            // some tx-read line in this row may have been lost (§III.C).
+            out.events
+                .push(FootprintEvent::FetchOverflow { line: vline });
+        }
+        if self.store_cache.xi_conflicts(vline) {
+            // Store-cache data for this line can no longer stay L2-resident.
+            out.events
+                .push(FootprintEvent::StoreOverflow { line: Some(vline) });
+        }
+    }
+
+    /// Presents store data to the gathering store cache.
+    ///
+    /// Callers must have established exclusive ownership first. The store
+    /// must not cross a 128-byte granule (the ISA layer splits such stores).
+    pub fn buffer_store(
+        &mut self,
+        addr: Address,
+        bytes: &[u8],
+        tx: bool,
+        ntstg: bool,
+    ) -> StoreOutcome {
+        let outcome = self.store_cache.store(addr, bytes, tx, ntstg);
+        if outcome != StoreOutcome::Overflow && tx {
+            self.mark(addr.line(), AccessClass::Store, true);
+        }
+        outcome
+    }
+
+    /// Store-forwards buffered bytes over a load (see [`StoreCache::forward`]).
+    pub fn forward(&self, addr: Address, buf: &mut [u8]) {
+        self.store_cache.forward(addr, buf);
+    }
+
+    // ------------------------------------------------------------------
+    // XI handling (§III.C)
+    // ------------------------------------------------------------------
+
+    /// Delivers a cross-interrogate to this unit.
+    pub fn handle_xi(&mut self, xi: Xi) -> XiOutcome {
+        let line = xi.line;
+        let l1_entry = self.l1.peek(line).copied();
+        let footprint_store =
+            l1_entry.map(|e| e.tx_dirty).unwrap_or(false) || self.store_cache.xi_conflicts(line);
+        let footprint_fetch = l1_entry.map(|e| e.tx_read).unwrap_or(false);
+        let row = line.congruence_class(self.geom.l1_sets);
+        let ext_hit = self.in_tx && l1_entry.is_none() && self.lru_ext[row];
+        let footprint_hit = footprint_store || footprint_fetch || ext_hit;
+
+        // Only CPU-originated XIs can be stiff-armed; XIs from the I/O
+        // subsystem or internal LRU processing carry no requester and are
+        // always honored.
+        if footprint_hit && xi.kind.rejectable() && self.geom.stiff_arm {
+            if let Some(from) = xi.from {
+                let count = {
+                    let c = self.reject_counts.entry(from).or_insert(0);
+                    *c += 1;
+                    *c
+                };
+                if count <= self.geom.xi_reject_threshold {
+                    return XiOutcome {
+                        response: XiResponse::Reject,
+                        events: Vec::new(),
+                    };
+                }
+                // Reject budget exhausted without completing instructions:
+                // accept the XI and abort to avoid a hang (§III.C).
+                let mut out = self.apply_xi_transition(xi);
+                out.events.push(FootprintEvent::RejectHang { line });
+                return out;
+            }
+        }
+
+        let mut out = self.apply_xi_transition(xi);
+        if footprint_hit {
+            out.events.push(FootprintEvent::Conflict {
+                line,
+                from: xi.from,
+                store: footprint_store,
+            });
+        }
+        out
+    }
+
+    fn apply_xi_transition(&mut self, xi: Xi) -> XiOutcome {
+        // Losing (or downgrading) the line forces pending non-transactional
+        // stores for it out of the gathering store cache first.
+        self.store_cache.drain_line(xi.line);
+        match xi.kind {
+            XiKind::Exclusive | XiKind::ReadOnly | XiKind::Lru => {
+                self.l1.remove(xi.line);
+                self.l2.remove(xi.line);
+            }
+            XiKind::Demote => {
+                if let Some(e) = self.l2.peek_mut(xi.line) {
+                    e.state = CohState::ReadOnly;
+                }
+            }
+        }
+        XiOutcome {
+            response: XiResponse::Accept,
+            events: Vec::new(),
+        }
+    }
+
+    /// Resets the XI-reject counters; called whenever the CPU completes an
+    /// instruction (a progressing CPU may keep stiff-arming, §III.C).
+    pub fn note_instruction_complete(&mut self) {
+        self.reject_counts.clear();
+    }
+
+    /// Highest per-requester reject count (for statistics/tests).
+    pub fn reject_count(&self) -> u32 {
+        self.reject_counts.values().copied().max().unwrap_or(0)
+    }
+
+    // ------------------------------------------------------------------
+    // Transaction lifecycle
+    // ------------------------------------------------------------------
+
+    /// Starts footprint tracking for a new outermost transaction: resets the
+    /// tx bits and the LRU-extension vector, and closes pre-existing store
+    /// cache entries (§III.B/§III.D).
+    pub fn begin_outermost_tx(&mut self) {
+        self.in_tx = true;
+        self.reject_counts.clear();
+        for (_, e) in self.l1.iter_mut() {
+            e.tx_read = false;
+            e.tx_dirty = false;
+        }
+        self.lru_ext.fill(false);
+        self.store_cache.begin_tx();
+    }
+
+    /// Commits the transaction: clears all transactional marking and returns
+    /// the buffered stores for application to committed memory.
+    pub fn commit_tx(&mut self) -> Vec<DrainWrite> {
+        self.in_tx = false;
+        for (_, e) in self.l1.iter_mut() {
+            e.tx_read = false;
+            e.tx_dirty = false;
+        }
+        self.lru_ext.fill(false);
+        self.store_cache.commit_tx()
+    }
+
+    /// Aborts the transaction: invalidates tx-dirty L1 lines (they remain
+    /// L2-resident with the pre-transaction data, §III.C), discards buffered
+    /// stores, and returns the NTSTG writes that must still be committed.
+    pub fn abort_tx(&mut self) -> Vec<DrainWrite> {
+        self.in_tx = false;
+        let dirty: Vec<LineAddr> = self
+            .l1
+            .iter()
+            .filter(|(_, e)| e.tx_dirty)
+            .map(|(l, _)| l)
+            .collect();
+        for line in dirty {
+            self.l1.remove(line);
+        }
+        for (_, e) in self.l1.iter_mut() {
+            e.tx_read = false;
+        }
+        self.lru_ext.fill(false);
+        self.store_cache.abort_tx()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CpuId;
+
+    fn unit() -> PrivateCache {
+        PrivateCache::new(CacheGeometry::zec12())
+    }
+
+    fn small_unit() -> PrivateCache {
+        PrivateCache::new(CacheGeometry {
+            l1_sets: 2,
+            l1_ways: 2,
+            l2_sets: 4,
+            l2_ways: 2,
+            store_cache_entries: 4,
+            ..CacheGeometry::zec12()
+        })
+    }
+
+    fn line(i: u64) -> LineAddr {
+        LineAddr::new(i)
+    }
+
+    fn xi(kind: XiKind, l: LineAddr) -> Xi {
+        Xi {
+            kind,
+            line: l,
+            from: Some(CpuId(9)),
+        }
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut u = unit();
+        assert_eq!(
+            u.lookup(line(1), AccessClass::Fetch),
+            LocalHit::Miss {
+                held_read_only: false
+            }
+        );
+        u.install(line(1), CohState::ReadOnly, AccessClass::Fetch, false);
+        assert_eq!(u.lookup(line(1), AccessClass::Fetch), LocalHit::L1);
+    }
+
+    #[test]
+    fn store_needs_exclusive() {
+        let mut u = unit();
+        u.install(line(1), CohState::ReadOnly, AccessClass::Fetch, false);
+        assert_eq!(
+            u.lookup(line(1), AccessClass::Store),
+            LocalHit::Miss {
+                held_read_only: true
+            }
+        );
+        u.install(line(1), CohState::Exclusive, AccessClass::Store, false);
+        assert_eq!(u.lookup(line(1), AccessClass::Store), LocalHit::L1);
+    }
+
+    #[test]
+    fn tx_read_marking_and_conflict() {
+        let mut u = unit();
+        u.begin_outermost_tx();
+        u.install(line(1), CohState::ReadOnly, AccessClass::Fetch, true);
+        assert_eq!(u.tx_read_lines(), 1);
+        // A read-only XI (not rejectable) hits the footprint: conflict.
+        let out = u.handle_xi(xi(XiKind::ReadOnly, line(1)));
+        assert_eq!(out.response, XiResponse::Accept);
+        assert!(matches!(
+            out.events.as_slice(),
+            [FootprintEvent::Conflict { store: false, .. }]
+        ));
+        assert_eq!(u.state_of(line(1)), None, "line invalidated");
+    }
+
+    #[test]
+    fn exclusive_xi_stiff_armed_until_threshold() {
+        let mut u = unit();
+        u.begin_outermost_tx();
+        u.install(line(1), CohState::Exclusive, AccessClass::Store, true);
+        u.buffer_store(line(1).base(), &[1], true, false);
+        let threshold = u.geometry().xi_reject_threshold;
+        for _ in 0..threshold {
+            let out = u.handle_xi(xi(XiKind::Exclusive, line(1)));
+            assert_eq!(out.response, XiResponse::Reject);
+        }
+        // Threshold reached: accepted with a hang-avoidance abort.
+        let out = u.handle_xi(xi(XiKind::Exclusive, line(1)));
+        assert_eq!(out.response, XiResponse::Accept);
+        assert!(matches!(
+            out.events.as_slice(),
+            [FootprintEvent::RejectHang { .. }]
+        ));
+    }
+
+    #[test]
+    fn instruction_completion_resets_reject_budget() {
+        let mut u = unit();
+        u.begin_outermost_tx();
+        u.install(line(1), CohState::Exclusive, AccessClass::Fetch, true);
+        for _ in 0..u.geometry().xi_reject_threshold {
+            assert_eq!(
+                u.handle_xi(xi(XiKind::Demote, line(1))).response,
+                XiResponse::Reject
+            );
+        }
+        u.note_instruction_complete();
+        assert_eq!(
+            u.handle_xi(xi(XiKind::Demote, line(1))).response,
+            XiResponse::Reject,
+            "budget replenished by forward progress"
+        );
+    }
+
+    #[test]
+    fn no_stiff_arm_knob_aborts_immediately() {
+        let mut u = PrivateCache::new(CacheGeometry {
+            stiff_arm: false,
+            ..CacheGeometry::zec12()
+        });
+        u.begin_outermost_tx();
+        u.install(line(1), CohState::Exclusive, AccessClass::Fetch, true);
+        let out = u.handle_xi(xi(XiKind::Exclusive, line(1)));
+        assert_eq!(out.response, XiResponse::Accept);
+        assert!(matches!(
+            out.events.as_slice(),
+            [FootprintEvent::Conflict { .. }]
+        ));
+    }
+
+    #[test]
+    fn non_tx_xi_has_no_events() {
+        let mut u = unit();
+        u.install(line(1), CohState::Exclusive, AccessClass::Fetch, false);
+        let out = u.handle_xi(xi(XiKind::Exclusive, line(1)));
+        assert_eq!(out.response, XiResponse::Accept);
+        assert!(out.events.is_empty());
+        assert_eq!(u.state_of(line(1)), None);
+    }
+
+    #[test]
+    fn demote_keeps_line_read_only() {
+        let mut u = unit();
+        u.install(line(1), CohState::Exclusive, AccessClass::Fetch, false);
+        let out = u.handle_xi(xi(XiKind::Demote, line(1)));
+        assert_eq!(out.response, XiResponse::Accept);
+        assert_eq!(u.state_of(line(1)), Some(CohState::ReadOnly));
+    }
+
+    #[test]
+    fn l1_eviction_of_tx_read_sets_lru_extension() {
+        let mut u = small_unit(); // L1: 2 sets × 2 ways
+        u.begin_outermost_tx();
+        // Three tx-read lines in L1 row 0 (lines 0, 2, 4 → class 0 of 2 sets).
+        u.install(line(0), CohState::ReadOnly, AccessClass::Fetch, true);
+        u.install(line(2), CohState::ReadOnly, AccessClass::Fetch, true);
+        let out = u.install(line(4), CohState::ReadOnly, AccessClass::Fetch, true);
+        assert!(out.events.is_empty(), "extension absorbs the eviction");
+        assert_eq!(u.lru_ext_rows(), 1);
+        // Any XI to a missing line in that row now aborts.
+        let out = u.handle_xi(xi(XiKind::ReadOnly, line(6)));
+        assert!(matches!(
+            out.events.as_slice(),
+            [FootprintEvent::Conflict { .. }]
+        ));
+    }
+
+    #[test]
+    fn without_extension_l1_eviction_overflows() {
+        let mut u = PrivateCache::new(CacheGeometry {
+            l1_sets: 2,
+            l1_ways: 2,
+            l2_sets: 4,
+            l2_ways: 2,
+            store_cache_entries: 4,
+            lru_extension: false,
+            ..CacheGeometry::zec12()
+        });
+        u.begin_outermost_tx();
+        u.install(line(0), CohState::ReadOnly, AccessClass::Fetch, true);
+        u.install(line(2), CohState::ReadOnly, AccessClass::Fetch, true);
+        let out = u.install(line(4), CohState::ReadOnly, AccessClass::Fetch, true);
+        assert!(matches!(
+            out.events.as_slice(),
+            [FootprintEvent::FetchOverflow { .. }]
+        ));
+    }
+
+    #[test]
+    fn l2_eviction_of_tx_line_overflows() {
+        let mut u = small_unit(); // L2: 4 sets × 2 ways
+        u.begin_outermost_tx();
+        // Fill L2 set 0 (lines 0, 4 → class 0 of 4 sets) with tx-read lines.
+        u.install(line(0), CohState::ReadOnly, AccessClass::Fetch, true);
+        u.install(line(4), CohState::ReadOnly, AccessClass::Fetch, true);
+        // Third line in the same L2 set must evict a protected tx line.
+        let out = u.install(line(8), CohState::ReadOnly, AccessClass::Fetch, true);
+        assert!(out
+            .events
+            .iter()
+            .any(|e| matches!(e, FootprintEvent::FetchOverflow { .. })));
+        assert_eq!(out.lost_lines.len(), 1);
+    }
+
+    #[test]
+    fn l2_prefers_evicting_non_tx_lines() {
+        let mut u = small_unit();
+        u.begin_outermost_tx();
+        u.install(line(0), CohState::ReadOnly, AccessClass::Fetch, false); // non-tx
+        u.install(line(4), CohState::ReadOnly, AccessClass::Fetch, true); // tx
+        let out = u.install(line(8), CohState::ReadOnly, AccessClass::Fetch, true);
+        assert!(out.events.is_empty());
+        assert_eq!(out.lost_lines, vec![line(0)]);
+        assert!(u.state_of(line(4)).is_some(), "tx line kept");
+    }
+
+    #[test]
+    fn commit_clears_marking_and_returns_writes() {
+        let mut u = unit();
+        u.begin_outermost_tx();
+        u.install(line(1), CohState::Exclusive, AccessClass::Store, true);
+        u.buffer_store(line(1).base(), &[7; 8], true, false);
+        let writes = u.commit_tx();
+        assert_eq!(writes.len(), 1);
+        assert!(!u.in_tx());
+        assert_eq!(u.tx_read_lines(), 0);
+        // Line is still cached after commit.
+        assert_eq!(u.state_of(line(1)), Some(CohState::Exclusive));
+    }
+
+    #[test]
+    fn abort_invalidates_tx_dirty_l1_lines() {
+        let mut u = unit();
+        u.begin_outermost_tx();
+        u.install(line(1), CohState::Exclusive, AccessClass::Store, true);
+        u.buffer_store(line(1).base(), &[7; 8], true, false);
+        assert_eq!(u.lookup(line(1), AccessClass::Fetch), LocalHit::L1);
+        let writes = u.abort_tx();
+        assert!(writes.is_empty(), "no NTSTG data");
+        // tx-dirty line left the L1 but stays in the L2 (7-cycle refill).
+        assert_eq!(u.lookup(line(1), AccessClass::Fetch), LocalHit::L2);
+    }
+
+    #[test]
+    fn store_forwarding_within_tx() {
+        let mut u = unit();
+        u.begin_outermost_tx();
+        u.install(line(0), CohState::Exclusive, AccessClass::Store, true);
+        u.buffer_store(Address::new(8), &[9; 4], true, false);
+        let mut buf = [0u8; 8];
+        u.forward(Address::new(8), &mut buf);
+        assert_eq!(buf, [9, 9, 9, 9, 0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn begin_tx_resets_prior_marking() {
+        let mut u = unit();
+        u.begin_outermost_tx();
+        u.install(line(1), CohState::ReadOnly, AccessClass::Fetch, true);
+        u.commit_tx();
+        u.begin_outermost_tx();
+        assert_eq!(u.tx_read_lines(), 0);
+        assert_eq!(u.lru_ext_rows(), 0);
+    }
+}

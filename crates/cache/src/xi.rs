@@ -1,0 +1,116 @@
+//! Cross-interrogates (XIs) and transactional footprint events.
+
+use crate::CpuId;
+use ztm_mem::LineAddr;
+
+/// The kind of a cross-interrogate, per §III.A of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum XiKind {
+    /// Transition exclusive → invalid (another CPU wants the line exclusive).
+    /// May be rejected by the target.
+    Exclusive,
+    /// Transition exclusive → read-only (another CPU wants to read).
+    /// May be rejected by the target.
+    Demote,
+    /// Invalidate a read-only copy (another CPU wants the line exclusive).
+    /// Cannot be rejected.
+    ReadOnly,
+    /// Eviction forced by an associativity overflow at a higher cache level
+    /// (inclusivity rule). Cannot be rejected.
+    Lru,
+}
+
+impl XiKind {
+    /// Whether a target may reject (stiff-arm) this XI kind.
+    pub fn rejectable(self) -> bool {
+        matches!(self, XiKind::Exclusive | XiKind::Demote)
+    }
+}
+
+/// A cross-interrogate delivered to a private cache unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Xi {
+    /// What transition the XI demands.
+    pub kind: XiKind,
+    /// The line being interrogated.
+    pub line: LineAddr,
+    /// The requesting CPU (for diagnostics; `None` for internal LRU XIs).
+    pub from: Option<CpuId>,
+}
+
+/// The target's answer to an XI.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum XiResponse {
+    /// The XI was accepted and the directory state updated.
+    Accept,
+    /// The XI was rejected (stiff-armed); the sender must repeat it.
+    Reject,
+}
+
+/// A transactional footprint event produced by the cache layer.
+///
+/// The cache layer detects these conditions; the `ztm-core` transaction
+/// engine converts them into architected abort codes (conflict, fetch
+/// overflow, store overflow — §II.A lists the abort reasons).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FootprintEvent {
+    /// A non-rejected XI hit the transactional read or write set — a conflict
+    /// with another CPU. Carries the conflicting line (the TDB "conflict
+    /// token", §II.E.1) and the interrogating CPU when known.
+    Conflict {
+        /// The line on which the conflict was detected.
+        line: LineAddr,
+        /// The CPU whose request caused the conflict, if known.
+        from: Option<CpuId>,
+        /// Whether the conflicted local access was a store (write-set hit).
+        store: bool,
+    },
+    /// The transactional read footprint exceeded what the CPU can track
+    /// (tx-read line lost from the L1 without LRU extension, or from the L2).
+    FetchOverflow {
+        /// The line whose tracking was lost.
+        line: LineAddr,
+    },
+    /// The transactional store footprint exceeded the store cache or the L2
+    /// associativity (§III.D).
+    StoreOverflow {
+        /// The line that could not be accommodated, when identifiable.
+        line: Option<LineAddr>,
+    },
+    /// The CPU rejected XIs for too long without completing instructions;
+    /// the reject-counter threshold aborts the transaction to avoid hangs
+    /// (§III.C).
+    RejectHang {
+        /// The line whose XI finally had to be accepted.
+        line: LineAddr,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejectability_matches_paper() {
+        assert!(XiKind::Exclusive.rejectable());
+        assert!(XiKind::Demote.rejectable());
+        assert!(!XiKind::ReadOnly.rejectable());
+        assert!(!XiKind::Lru.rejectable());
+    }
+
+    #[test]
+    fn footprint_event_carries_conflict_token() {
+        let e = FootprintEvent::Conflict {
+            line: LineAddr::new(7),
+            from: Some(CpuId(3)),
+            store: false,
+        };
+        match e {
+            FootprintEvent::Conflict { line, from, .. } => {
+                assert_eq!(line, LineAddr::new(7));
+                assert_eq!(from, Some(CpuId(3)));
+            }
+            _ => unreachable!(),
+        }
+    }
+}

@@ -1,0 +1,437 @@
+//! Argument parsing and run logic for the `ztm-run` command-line driver.
+//!
+//! Kept in a library so the parsing and report formatting are unit-testable;
+//! the `ztm-run` binary is a thin wrapper.
+
+use std::fmt::Write as _;
+use ztm_core::DiagnosticControl;
+use ztm_sim::{System, SystemConfig};
+use ztm_workloads::bank::{Bank, BankMethod};
+use ztm_workloads::dlist::{DoublyLinkedList, ListMethod};
+use ztm_workloads::hashtable::{HashTable, TableMethod};
+use ztm_workloads::pool::{PoolLayout, PoolWorkload, SyncMethod};
+use ztm_workloads::queue::{ConcurrentQueue, QueueMethod};
+use ztm_workloads::rwlock::{ReadMethod, ReadWorkload};
+use ztm_workloads::WorkloadReport;
+
+/// Which benchmark to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Workload {
+    /// Variable-pool updates (Fig 5a–c).
+    Pool,
+    /// Read-only pool (Fig 5d).
+    Read,
+    /// Lock-elided hashtable (Fig 5e).
+    Hashtable,
+    /// Concurrent queue (E2).
+    Queue,
+    /// Doubly-linked list (§II.D).
+    Dlist,
+    /// Bank transfers (conservation invariant).
+    Bank,
+}
+
+/// Parsed command-line options.
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// Benchmark selection.
+    pub workload: Workload,
+    /// Synchronization method name (validated per workload).
+    pub method: String,
+    /// CPU count.
+    pub cpus: usize,
+    /// Operations per CPU.
+    pub ops: u64,
+    /// Pool/table size.
+    pub pool: u64,
+    /// Variables per operation (pool workload).
+    pub vars: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Disable speculative prefetch modeling.
+    pub no_prefetch: bool,
+    /// Disable XI stiff-arming.
+    pub no_stiff_arm: bool,
+    /// Diagnostic control: None, or `random`/`always`.
+    pub tdc: Option<String>,
+    /// Print the execution trace of this CPU afterwards.
+    pub trace_cpu: Option<usize>,
+    /// Print a per-CPU measurement table.
+    pub per_cpu: bool,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            workload: Workload::Pool,
+            method: "tbegin".into(),
+            cpus: 4,
+            ops: 200,
+            pool: 64,
+            vars: 1,
+            seed: 42,
+            no_prefetch: false,
+            no_stiff_arm: false,
+            tdc: None,
+            trace_cpu: None,
+            per_cpu: false,
+        }
+    }
+}
+
+/// The `--help` text.
+pub fn usage() -> String {
+    "\
+ztm-run — zEC12 transactional-memory simulator driver
+
+USAGE:
+    ztm-run [OPTIONS]
+
+OPTIONS:
+    --workload <pool|read|hashtable|queue|dlist|bank>   (default pool)
+    --method <name>     pool: lock|fine|tbegin|tbeginc|none (default tbegin)
+                        read: rwlock|tbeginc    hashtable: lock|elision
+                        queue/dlist/bank: lock|tbeginc (+ tbegin for bank)
+    --cpus <n>          CPUs to simulate (default 4, max 144)
+    --ops <n>           operations per CPU (default 200)
+    --pool <n>          pool/table size (default 64)
+    --vars <1..4>       variables per operation (default 1)
+    --seed <n>          RNG seed (default 42; runs are deterministic)
+    --tdc <random|always>  force random aborts (§II.E.3)
+    --no-prefetch       disable speculative-fetch modeling
+    --no-stiff-arm      disable XI rejection (E3 ablation)
+    --trace <cpu>       print the execution trace of one CPU
+    --per-cpu           print a per-CPU measurement table
+    -h, --help          this help
+"
+    .into()
+}
+
+/// Parses arguments (without the program name).
+///
+/// # Errors
+///
+/// Returns a human-readable message for unknown flags, missing values, or
+/// out-of-range numbers.
+pub fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut o = Options::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .map(|s| s.to_string())
+                .ok_or_else(|| format!("flag {flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--workload" => {
+                o.workload = match value()?.as_str() {
+                    "pool" => Workload::Pool,
+                    "read" => Workload::Read,
+                    "hashtable" => Workload::Hashtable,
+                    "queue" => Workload::Queue,
+                    "dlist" => Workload::Dlist,
+                    "bank" => Workload::Bank,
+                    w => return Err(format!("unknown workload `{w}`")),
+                }
+            }
+            "--method" => o.method = value()?,
+            "--cpus" => {
+                o.cpus = value()?
+                    .parse()
+                    .map_err(|_| "cpus must be a number".to_string())?;
+                if o.cpus == 0 || o.cpus > 144 {
+                    return Err("cpus must be 1..=144".into());
+                }
+            }
+            "--ops" => o.ops = value()?.parse().map_err(|_| "ops must be a number")?,
+            "--pool" => o.pool = value()?.parse().map_err(|_| "pool must be a number")?,
+            "--vars" => {
+                o.vars = value()?.parse().map_err(|_| "vars must be a number")?;
+                if !(1..=4).contains(&o.vars) {
+                    return Err("vars must be 1..=4".into());
+                }
+            }
+            "--seed" => o.seed = value()?.parse().map_err(|_| "seed must be a number")?,
+            "--tdc" => o.tdc = Some(value()?),
+            "--per-cpu" => o.per_cpu = true,
+            "--no-prefetch" => o.no_prefetch = true,
+            "--no-stiff-arm" => o.no_stiff_arm = true,
+            "--trace" => {
+                o.trace_cpu = Some(value()?.parse().map_err(|_| "trace needs a CPU index")?)
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(o)
+}
+
+fn build_system(o: &Options) -> Result<System, String> {
+    let mut cfg = SystemConfig::with_cpus(o.cpus).seed(o.seed);
+    cfg.speculative_prefetch = !o.no_prefetch;
+    cfg.geometry.stiff_arm = !o.no_stiff_arm;
+    match o.tdc.as_deref() {
+        None => {}
+        Some("random") => cfg.engine.diagnostic = DiagnosticControl::Random { denominator: 16 },
+        Some("always") => cfg.engine.diagnostic = DiagnosticControl::AlwaysAbort { max_point: 50 },
+        Some(other) => return Err(format!("unknown tdc mode `{other}`")),
+    }
+    Ok(System::new(cfg))
+}
+
+/// Runs the selected workload and returns the formatted report.
+///
+/// # Errors
+///
+/// Returns a message when the method name does not fit the workload.
+pub fn execute(o: &Options) -> Result<String, String> {
+    let mut sys = build_system(o)?;
+    if let Some(cpu) = o.trace_cpu {
+        if cpu >= o.cpus {
+            return Err(format!("--trace {cpu} but only {} CPUs", o.cpus));
+        }
+        sys.set_trace(cpu, true);
+    }
+    let rep: WorkloadReport = match o.workload {
+        Workload::Pool => {
+            let method = match o.method.as_str() {
+                "lock" => SyncMethod::CoarseLock,
+                "fine" => SyncMethod::FineLock,
+                "tbegin" => SyncMethod::Tbegin,
+                "tbeginc" => SyncMethod::Tbeginc,
+                "none" => SyncMethod::None,
+                m => return Err(format!("pool does not know method `{m}`")),
+            };
+            let wl = PoolWorkload::new(PoolLayout::new(o.pool, o.vars), method, o.seed);
+            wl.run(&mut sys, o.ops)
+        }
+        Workload::Read => {
+            let method = match o.method.as_str() {
+                "rwlock" => ReadMethod::RwLock,
+                "tbeginc" => ReadMethod::Tbeginc,
+                m => return Err(format!("read does not know method `{m}`")),
+            };
+            ReadWorkload::new(o.pool, method).run(&mut sys, o.ops)
+        }
+        Workload::Hashtable => {
+            let method = match o.method.as_str() {
+                "lock" => TableMethod::GlobalLock,
+                "elision" | "tbegin" => TableMethod::Elision,
+                m => return Err(format!("hashtable does not know method `{m}`")),
+            };
+            let buckets = o.pool.next_power_of_two().max(16);
+            let t = HashTable::new(buckets, buckets * 4, 20, method);
+            t.populate(&mut sys, &(0..buckets * 2).collect::<Vec<_>>());
+            t.run(&mut sys, o.ops)
+        }
+        Workload::Queue => {
+            let method = match o.method.as_str() {
+                "lock" => QueueMethod::Lock,
+                "tbeginc" => QueueMethod::Tbeginc,
+                m => return Err(format!("queue does not know method `{m}`")),
+            };
+            let q = ConcurrentQueue::new(method);
+            q.seed(&mut sys, o.pool.max(1));
+            q.run(&mut sys, o.ops)
+        }
+        Workload::Dlist => {
+            let method = match o.method.as_str() {
+                "lock" => ListMethod::Lock,
+                "tbeginc" => ListMethod::Tbeginc,
+                m => return Err(format!("dlist does not know method `{m}`")),
+            };
+            let l = DoublyLinkedList::new(method);
+            l.seed(&mut sys, o.pool.max(1));
+            l.run(&mut sys, o.ops)
+        }
+        Workload::Bank => {
+            let method = match o.method.as_str() {
+                "lock" => BankMethod::Lock,
+                "tbegin" => BankMethod::Tbegin,
+                "tbeginc" => BankMethod::Tbeginc,
+                m => return Err(format!("bank does not know method `{m}`")),
+            };
+            let b = Bank::new(o.pool.max(1), method);
+            b.open(&mut sys, 10_000);
+            b.run(&mut sys, o.ops)
+        }
+    };
+
+    let mut out = String::new();
+    let r = &rep.system;
+    let _ = writeln!(out, "workload          : {:?} / {}", o.workload, o.method);
+    let _ = writeln!(out, "cpus x ops        : {} x {}", o.cpus, o.ops);
+    let _ = writeln!(out, "committed ops     : {}", rep.committed_ops());
+    let _ = writeln!(out, "cycles/op (avg)   : {:.1}", rep.avg_op_cycles());
+    let _ = writeln!(out, "throughput        : {:.6} ops/cycle", rep.throughput());
+    let _ = writeln!(out, "elapsed cycles    : {}", r.elapsed_cycles);
+    let _ = writeln!(out, "instructions      : {}", r.total_instructions);
+    let _ = writeln!(
+        out,
+        "tx commits/aborts : {} / {} (abort rate {:.2}%)",
+        r.tx.commits,
+        r.tx.aborts,
+        100.0 * r.tx.abort_rate()
+    );
+    if !r.tx.aborts_by_code.is_empty() {
+        let _ = writeln!(out, "abort codes       : {:?}", r.tx.aborts_by_code);
+    }
+    let _ = writeln!(out, "xi [ex,dm,ro,lru] : {:?}", r.xi_counts);
+    let _ = writeln!(out, "stall retries     : {}", r.stalls);
+    if r.tx.broadcast_stops > 0 {
+        let _ = writeln!(out, "broadcast stops   : {}", r.tx.broadcast_stops);
+    }
+    if o.per_cpu {
+        let _ = writeln!(
+            out,
+            "\n{:>6} {:>10} {:>14} {:>10} {:>10}",
+            "cpu", "ops", "cycles/op", "commits", "aborts"
+        );
+        for (i, m) in rep.per_cpu.iter().enumerate() {
+            let st = sys.tx_stats(i);
+            let avg = if m.ops > 0 {
+                m.op_cycles as f64 / m.ops as f64
+            } else {
+                0.0
+            };
+            let _ = writeln!(
+                out,
+                "{i:>6} {:>10} {avg:>14.1} {:>10} {:>10}",
+                m.ops, st.commits, st.aborts
+            );
+        }
+    }
+    if let Some(cpu) = o.trace_cpu {
+        let _ = writeln!(out, "\n--- trace of cpu{cpu} (most recent steps) ---");
+        out.push_str(&sys.trace_listing());
+    }
+    Ok(out)
+}
+
+/// Runs and prints, mapping errors to stderr (used by the binary).
+pub fn run(o: &Options) {
+    match execute(o) {
+        Ok(report) => print!("{report}"),
+        Err(e) => eprintln!("error: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn defaults_parse() {
+        let o = parse_args(&[]).unwrap();
+        assert_eq!(o.cpus, 4);
+        assert_eq!(o.workload, Workload::Pool);
+    }
+
+    #[test]
+    fn full_flag_set_parses() {
+        let o = parse_args(&args(
+            "--workload bank --method tbeginc --cpus 6 --ops 10 --pool 8 --vars 2 \
+             --seed 7 --tdc random --no-prefetch --no-stiff-arm --trace 1",
+        ))
+        .unwrap();
+        assert_eq!(o.workload, Workload::Bank);
+        assert_eq!(o.method, "tbeginc");
+        assert_eq!(o.cpus, 6);
+        assert_eq!(o.ops, 10);
+        assert_eq!(o.pool, 8);
+        assert_eq!(o.vars, 2);
+        assert_eq!(o.seed, 7);
+        assert_eq!(o.tdc.as_deref(), Some("random"));
+        assert!(o.no_prefetch && o.no_stiff_arm);
+        assert_eq!(o.trace_cpu, Some(1));
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse_args(&args("--cpus 0")).is_err());
+        assert!(parse_args(&args("--cpus 145")).is_err());
+        assert!(parse_args(&args("--vars 5")).is_err());
+        assert!(parse_args(&args("--workload nope")).is_err());
+        assert!(parse_args(&args("--bogus 1")).is_err());
+        assert!(parse_args(&args("--cpus")).is_err());
+    }
+
+    #[test]
+    fn executes_every_workload() {
+        for (wl, method) in [
+            ("pool", "tbegin"),
+            ("pool", "tbeginc"),
+            ("pool", "lock"),
+            ("read", "rwlock"),
+            ("read", "tbeginc"),
+            ("hashtable", "elision"),
+            ("queue", "tbeginc"),
+            ("dlist", "tbeginc"),
+            ("bank", "tbegin"),
+        ] {
+            let o = parse_args(&args(&format!(
+                "--workload {wl} --method {method} --cpus 2 --ops 10 --pool 8"
+            )))
+            .unwrap();
+            let report = execute(&o).unwrap_or_else(|e| panic!("{wl}/{method}: {e}"));
+            assert!(report.contains("committed ops     : 20"), "{wl}: {report}");
+        }
+    }
+
+    #[test]
+    fn method_validation_is_per_workload() {
+        let o = parse_args(&args("--workload queue --method fine")).unwrap();
+        assert!(execute(&o).is_err());
+    }
+
+    #[test]
+    fn trace_output_included() {
+        let o = parse_args(&args("--cpus 2 --ops 3 --trace 0")).unwrap();
+        let report = execute(&o).unwrap();
+        assert!(report.contains("trace of cpu0"));
+        assert!(report.contains("TBEGIN"));
+    }
+
+    #[test]
+    fn tdc_always_forces_fallback() {
+        let o = parse_args(&args(
+            "--workload pool --method tbegin --cpus 2 --ops 20 --tdc always",
+        ))
+        .unwrap();
+        let report = execute(&o).unwrap();
+        assert!(report.contains("tx commits/aborts : 0 /"), "{report}");
+    }
+
+    #[test]
+    fn per_cpu_table_lists_every_cpu() {
+        let o = parse_args(&args("--cpus 3 --ops 5 --per-cpu")).unwrap();
+        let report = execute(&o).unwrap();
+        for cpu in 0..3 {
+            assert!(report.contains(&format!("\n     {cpu} ")), "{report}");
+        }
+    }
+
+    #[test]
+    fn usage_mentions_every_flag() {
+        let u = usage();
+        for flag in [
+            "--per-cpu",
+            "--workload",
+            "--method",
+            "--cpus",
+            "--ops",
+            "--pool",
+            "--vars",
+            "--seed",
+            "--tdc",
+            "--no-prefetch",
+            "--no-stiff-arm",
+            "--trace",
+        ] {
+            assert!(u.contains(flag), "usage missing {flag}");
+        }
+    }
+}

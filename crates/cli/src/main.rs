@@ -1,0 +1,28 @@
+//! `ztm-run` — command-line driver for the zEC12 transactional-memory simulator.
+//!
+//! ```text
+//! ztm-run --workload pool --method tbegin --cpus 8 --pool 100 --vars 4 --ops 500
+//! ```
+
+use std::process::ExitCode;
+use ztm_cli::{parse_args, run, usage};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print!("{}", usage());
+        return ExitCode::SUCCESS;
+    }
+    match parse_args(&args) {
+        Ok(opts) => {
+            run(&opts);
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!();
+            eprint!("{}", usage());
+            ExitCode::FAILURE
+        }
+    }
+}

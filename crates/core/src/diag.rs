@@ -1,0 +1,95 @@
+//! The Transaction Diagnostic Control: forced random aborts (§II.E.3).
+
+use rand::Rng;
+
+/// Operating-system controlled forcing of random transaction aborts, used to
+/// stress-test abort and fallback paths (§II.E.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DiagnosticControl {
+    /// Normal operation: no forced aborts.
+    #[default]
+    Off,
+    /// "Often, randomly abort transactions at a random point": each
+    /// instruction inside a transaction aborts with probability
+    /// `1/denominator`.
+    Random {
+        /// One forced abort per this many instructions, on average.
+        denominator: u32,
+    },
+    /// "Abort every transaction at a random point but at latest before the
+    /// outermost TEND" — used to stress the retry threshold and force the
+    /// fallback path. Treated like [`DiagnosticControl::Random`] for
+    /// constrained transactions (§II.E.3).
+    AlwaysAbort {
+        /// Upper bound for the randomly chosen abort point (instructions).
+        max_point: u32,
+    },
+}
+
+impl DiagnosticControl {
+    /// Draws the per-transaction abort countdown at transaction begin.
+    /// `None` means no pre-planned abort point.
+    pub fn draw_countdown(self, constrained: bool, rng: &mut impl Rng) -> Option<u32> {
+        match self {
+            DiagnosticControl::Off | DiagnosticControl::Random { .. } => None,
+            DiagnosticControl::AlwaysAbort { max_point } => {
+                if constrained {
+                    // The aggressive setting is treated like the less
+                    // aggressive one for constrained transactions, which
+                    // must eventually succeed.
+                    None
+                } else {
+                    Some(rng.gen_range(1..=max_point.max(1)))
+                }
+            }
+        }
+    }
+
+    /// Per-instruction random abort decision (both random modes).
+    pub fn instruction_fires(self, rng: &mut impl Rng) -> bool {
+        match self {
+            DiagnosticControl::Off => false,
+            DiagnosticControl::Random { denominator } => rng.gen_ratio(1, denominator.max(1)),
+            // AlwaysAbort relies on the countdown, plus the same background
+            // randomness as the lighter setting.
+            DiagnosticControl::AlwaysAbort { .. } => rng.gen_ratio(1, 16),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn off_never_fires() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let d = DiagnosticControl::Off;
+        assert_eq!(d.draw_countdown(false, &mut rng), None);
+        assert!((0..1000).all(|_| !d.instruction_fires(&mut rng)));
+    }
+
+    #[test]
+    fn random_fires_at_roughly_the_requested_rate() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let d = DiagnosticControl::Random { denominator: 4 };
+        let fires = (0..10_000)
+            .filter(|_| d.instruction_fires(&mut rng))
+            .count();
+        assert!((2000..3000).contains(&fires), "got {fires}");
+    }
+
+    #[test]
+    fn always_abort_draws_bounded_countdown() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let d = DiagnosticControl::AlwaysAbort { max_point: 8 };
+        for _ in 0..100 {
+            let c = d.draw_countdown(false, &mut rng).unwrap();
+            assert!((1..=8).contains(&c));
+        }
+        // Constrained transactions are exempt from the planned abort.
+        assert_eq!(d.draw_countdown(true, &mut rng), None);
+    }
+}

@@ -1,0 +1,196 @@
+//! Disassembly: human-readable rendering of instructions and programs.
+
+use crate::asm::Program;
+use crate::instr::{cc_mask, CmpCond, Instr, MemOperand, RegOrImm};
+use std::fmt;
+
+impl fmt::Display for MemOperand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (self.base, self.index) {
+            (None, None) => write!(f, "{:#x}", self.disp),
+            (Some(b), None) => write!(f, "{}({b})", self.disp),
+            (Some(b), Some(x)) => write!(f, "{}({x},{b})", self.disp),
+            (None, Some(x)) => write!(f, "{}({x})", self.disp),
+        }
+    }
+}
+
+impl fmt::Display for RegOrImm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegOrImm::Reg(r) => write!(f, "{r}"),
+            RegOrImm::Imm(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+fn cond_suffix(c: CmpCond) -> &'static str {
+    match c {
+        CmpCond::Eq => "E",
+        CmpCond::Ne => "NE",
+        CmpCond::Lt => "L",
+        CmpCond::Le => "NH",
+        CmpCond::Gt => "H",
+        CmpCond::Ge => "NL",
+    }
+}
+
+fn brc_mnemonic(mask: u8) -> Option<&'static str> {
+    match mask {
+        cc_mask::ALWAYS => Some("J"),
+        cc_mask::ZERO => Some("JZ"),
+        cc_mask::NOT_ZERO => Some("JNZ"),
+        cc_mask::LOW => Some("JL"),
+        cc_mask::HIGH => Some("JH"),
+        cc_mask::ONES => Some("JO"),
+        _ => None,
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use Instr::*;
+        match self {
+            Lg(r, m) => write!(f, "LG      {r},{m}"),
+            Stg(r, m) => write!(f, "STG     {r},{m}"),
+            Ltg(r, m) => write!(f, "LTG     {r},{m}"),
+            Lghi(r, i) => write!(f, "LGHI    {r},{i}"),
+            Lgr(a, b) => write!(f, "LGR     {a},{b}"),
+            La(r, m) => write!(f, "LA      {r},{m}"),
+            Csg(a, b, m) => write!(f, "CSG     {a},{b},{m}"),
+            Ntstg(r, m) => write!(f, "NTSTG   {r},{m}"),
+            Agr(a, b) => write!(f, "AGR     {a},{b}"),
+            Sgr(a, b) => write!(f, "SGR     {a},{b}"),
+            Aghi(r, i) => write!(f, "AGHI    {r},{i}"),
+            Ngr(a, b) => write!(f, "NGR     {a},{b}"),
+            Xgr(a, b) => write!(f, "XGR     {a},{b}"),
+            Msgr(a, b) => write!(f, "MSGR    {a},{b}"),
+            Dsgr(a, b) => write!(f, "DSGR    {a},{b}"),
+            Sllg(a, b, n) => write!(f, "SLLG    {a},{b},{n}"),
+            Srlg(a, b, n) => write!(f, "SRLG    {a},{b},{n}"),
+            Ltgr(a, b) => write!(f, "LTGR    {a},{b}"),
+            Cgr(a, b) => write!(f, "CGR     {a},{b}"),
+            Cghi(r, i) => write!(f, "CGHI    {r},{i}"),
+            Brc(mask, t) => match brc_mnemonic(*mask) {
+                Some(m) => write!(f, "{m:<7} @{t}"),
+                None => write!(f, "BRC     {mask},@{t}"),
+            },
+            Cgij(r, i, c, t) => write!(f, "CGIJ{:<3} {r},{i},@{t}", cond_suffix(*c)),
+            Brctg(r, t) => write!(f, "BRCTG   {r},@{t}"),
+            Br(r) => write!(f, "BR      {r}"),
+            Tbegin(p) => write!(
+                f,
+                "TBEGIN  grsm={:#04x},pifc={}{}",
+                p.grsm.raw(),
+                p.pifc.value(),
+                match p.tdb {
+                    Some(a) => format!(",tdb={a}"),
+                    None => String::new(),
+                }
+            ),
+            Tbeginc(grsm) => write!(f, "TBEGINC grsm={:#04x}", grsm.raw()),
+            Tend => write!(f, "TEND"),
+            Tabort(c) => write!(f, "TABORT  {c}"),
+            Etnd(r) => write!(f, "ETND    {r}"),
+            Ppa(r) => write!(f, "PPA     {r},TX"),
+            Stckf(m) => write!(f, "STCKF   {m}"),
+            Rdclk(r) => write!(f, "RDCLK   {r}"),
+            RandMod(r, b) => write!(f, "RAND    {r},{b}"),
+            Sar(ar, r) => write!(f, "SAR     a{ar},{r}"),
+            Ear(r, ar) => write!(f, "EAR     {r},a{ar}"),
+            Adbr(a, b) => write!(f, "ADBR    f{a},f{b}"),
+            Decimal => write!(f, "AP      (decimal)"),
+            Privileged => write!(f, "LPSW    (privileged)"),
+            Nop => write!(f, "NOP"),
+            Delay(n) => write!(f, "DELAY   {n}"),
+            Halt => write!(f, "HALT"),
+        }
+    }
+}
+
+impl Program {
+    /// Renders the whole program as an address-annotated listing.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ztm_isa::{Assembler, gr::*};
+    /// let mut a = Assembler::new(0x100);
+    /// a.lghi(R1, 5);
+    /// a.halt();
+    /// let listing = a.assemble()?.listing();
+    /// assert!(listing.contains("0x000100"));
+    /// assert!(listing.contains("LGHI    r1,5"));
+    /// # Ok::<(), ztm_isa::AsmError>(())
+    /// ```
+    pub fn listing(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for i in 0..self.len() {
+            let _ = writeln!(out, "{:#08x}  {}", self.addr_of(i), self.instr(i));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::Assembler;
+    use crate::reg::gr::*;
+    use ztm_core::TbeginParams;
+
+    #[test]
+    fn figure1_listing_reads_like_z_assembly() {
+        let mut a = Assembler::new(0);
+        a.lghi(R0, 0);
+        a.label("loop");
+        a.tbegin(TbeginParams::new());
+        a.jnz("abort");
+        a.ltg(R1, MemOperand::absolute(0x4000));
+        a.tend();
+        a.halt();
+        a.label("abort");
+        a.ppa(R0);
+        a.j("loop");
+        let p = a.assemble().unwrap();
+        let listing = p.listing();
+        assert!(listing.contains("TBEGIN  grsm=0xff,pifc=0"));
+        assert!(listing.contains("JNZ"));
+        assert!(listing.contains("LTG     r1,0x4000"));
+        assert!(listing.contains("TEND"));
+        assert!(listing.contains("PPA     r0,TX"));
+        assert_eq!(listing.lines().count(), p.len());
+    }
+
+    #[test]
+    fn operand_forms_render() {
+        assert_eq!(MemOperand::based(R5, 16).to_string(), "16(r5)");
+        assert_eq!(MemOperand::absolute(0x80).to_string(), "0x80");
+        assert_eq!(MemOperand::indexed(R5, R6, -8).to_string(), "-8(r6,r5)");
+        assert_eq!(RegOrImm::Imm(7).to_string(), "7");
+        assert_eq!(RegOrImm::Reg(R3).to_string(), "r3");
+    }
+
+    #[test]
+    fn every_instruction_has_nonempty_display() {
+        let samples = [
+            Instr::Nop,
+            Instr::Halt,
+            Instr::Tend,
+            Instr::Delay(5),
+            Instr::Decimal,
+            Instr::Privileged,
+            Instr::Adbr(0, 1),
+            Instr::Sar(2, R1),
+            Instr::Ear(R1, 2),
+            Instr::Br(R9),
+            Instr::Dsgr(R1, R2),
+            Instr::Etnd(R3),
+            Instr::Stckf(MemOperand::absolute(0)),
+        ];
+        for i in samples {
+            assert!(!i.to_string().is_empty());
+        }
+    }
+}

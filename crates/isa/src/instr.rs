@@ -1,0 +1,335 @@
+//! The z-flavored instruction set of the simulator.
+//!
+//! A compact subset of z/Architecture sufficient to write the paper's
+//! Figure 1 / Figure 3 kernels and every workload of §IV, plus the six
+//! Transactional Execution instructions (TBEGIN, TBEGINC, TEND, TABORT,
+//! ETND, NTSTG) and PPA (§II.A).
+
+use crate::reg::Reg;
+use ztm_core::{GrSaveMask, InstrClass, TbeginParams};
+
+/// A base+index+displacement memory operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemOperand {
+    /// Base register (ignored if `None`).
+    pub base: Option<Reg>,
+    /// Index register.
+    pub index: Option<Reg>,
+    /// Signed displacement.
+    pub disp: i64,
+}
+
+impl MemOperand {
+    /// `disp(base)` — the common form.
+    pub fn based(base: Reg, disp: i64) -> Self {
+        MemOperand {
+            base: Some(base),
+            index: None,
+            disp,
+        }
+    }
+
+    /// An absolute address (no base register).
+    pub fn absolute(addr: u64) -> Self {
+        MemOperand {
+            base: None,
+            index: None,
+            disp: addr as i64,
+        }
+    }
+
+    /// `disp(index, base)` — indexed form.
+    pub fn indexed(base: Reg, index: Reg, disp: i64) -> Self {
+        MemOperand {
+            base: Some(base),
+            index: Some(index),
+            disp,
+        }
+    }
+}
+
+/// A register or immediate operand (e.g. for TABORT).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RegOrImm {
+    /// Value taken from a general register.
+    Reg(Reg),
+    /// Immediate value.
+    Imm(u64),
+}
+
+/// Comparison conditions for compare-and-jump instructions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpCond {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Less than ("low").
+    Lt,
+    /// Less than or equal.
+    Le,
+    /// Greater than ("high").
+    Gt,
+    /// Greater than or equal ("not low" — CIJNL in Figure 1).
+    Ge,
+}
+
+impl CmpCond {
+    /// Evaluates the condition on a signed comparison.
+    pub fn eval(self, a: i64, b: i64) -> bool {
+        match self {
+            CmpCond::Eq => a == b,
+            CmpCond::Ne => a != b,
+            CmpCond::Lt => a < b,
+            CmpCond::Le => a <= b,
+            CmpCond::Gt => a > b,
+            CmpCond::Ge => a >= b,
+        }
+    }
+}
+
+/// Branch-condition masks for BRC (bit 8 = CC0, 4 = CC1, 2 = CC2, 1 = CC3).
+pub mod cc_mask {
+    /// Branch if CC = 0 (zero / equal).
+    pub const ZERO: u8 = 8;
+    /// Branch if CC ≠ 0.
+    pub const NOT_ZERO: u8 = 7;
+    /// Branch if CC = 1 (low / lock busy in Figure 1).
+    pub const LOW: u8 = 4;
+    /// Branch if CC = 2 (high).
+    pub const HIGH: u8 = 2;
+    /// Branch if CC = 3 ("ones" — JO in Figure 1: permanent abort).
+    pub const ONES: u8 = 1;
+    /// Unconditional.
+    pub const ALWAYS: u8 = 15;
+}
+
+/// One simulated instruction.
+///
+/// Branch targets are instruction indices resolved by the
+/// [`Assembler`](crate::Assembler).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Instr {
+    // ---- loads / stores ----
+    /// Load 8 bytes: `r ← mem`.
+    Lg(Reg, MemOperand),
+    /// Store 8 bytes: `mem ← r`.
+    Stg(Reg, MemOperand),
+    /// Load and test 8 bytes (sets CC from the loaded value) — the `LT` of
+    /// Figure 1's lock check.
+    Ltg(Reg, MemOperand),
+    /// Load halfword immediate: `r ← imm`.
+    Lghi(Reg, i64),
+    /// Load register: `r1 ← r2`.
+    Lgr(Reg, Reg),
+    /// Load address: `r ← effective address`.
+    La(Reg, MemOperand),
+    /// Compare and swap 8 bytes: if `mem = r1` then `mem ← r3`, CC 0; else
+    /// `r1 ← mem`, CC 1.
+    Csg(Reg, Reg, MemOperand),
+    /// Non-transactional store of 8 bytes (§II.A): isolated during the
+    /// transaction but committed even on abort.
+    Ntstg(Reg, MemOperand),
+
+    // ---- arithmetic / logic ----
+    /// Add register: `r1 ← r1 + r2`.
+    Agr(Reg, Reg),
+    /// Subtract register: `r1 ← r1 - r2`.
+    Sgr(Reg, Reg),
+    /// Add halfword immediate: `r ← r + imm` (sets CC from the result).
+    Aghi(Reg, i64),
+    /// AND registers: `r1 ← r1 & r2`.
+    Ngr(Reg, Reg),
+    /// XOR registers: `r1 ← r1 ^ r2`.
+    Xgr(Reg, Reg),
+    /// Multiply: `r1 ← r1 * r2`.
+    Msgr(Reg, Reg),
+    /// Divide: `r1 ← r1 / r2` (fixed-point-divide exception when `r2 = 0`).
+    Dsgr(Reg, Reg),
+    /// Shift left logical: `r1 ← r2 << amount`.
+    Sllg(Reg, Reg, u8),
+    /// Shift right logical: `r1 ← r2 >> amount`.
+    Srlg(Reg, Reg, u8),
+    /// Load and test register: `r1 ← r2`, CC from value.
+    Ltgr(Reg, Reg),
+    /// Compare registers (signed), sets CC.
+    Cgr(Reg, Reg),
+    /// Compare immediate (signed), sets CC.
+    Cghi(Reg, i64),
+
+    // ---- branches (relative, assembler-resolved) ----
+    /// Branch on condition mask (see [`cc_mask`]); `J` is `Brc(ALWAYS, _)`.
+    Brc(u8, usize),
+    /// Compare immediate and jump on condition — Figure 1's CIJNL.
+    Cgij(Reg, i64, CmpCond, usize),
+    /// Branch on count: `r ← r - 1`; branch if `r ≠ 0`.
+    Brctg(Reg, usize),
+    /// Branch via register (non-relative — forbidden in constrained
+    /// transactions, §II.D). The register holds an instruction *index*.
+    Br(Reg),
+
+    // ---- transactional execution (§II.A) ----
+    /// Transaction Begin (non-constrained).
+    Tbegin(TbeginParams),
+    /// Transaction Begin Constrained (§II.D).
+    Tbeginc(GrSaveMask),
+    /// Transaction End.
+    Tend,
+    /// Transaction Abort with a code (≥ 256; low bit picks CC 2/3).
+    Tabort(RegOrImm),
+    /// Extract Transaction Nesting Depth into a register.
+    Etnd(Reg),
+    /// Perform Processor Assist, function code TX: random abort back-off;
+    /// the register passes the current abort count (§II.A).
+    Ppa(Reg),
+
+    // ---- timing / randomness ----
+    /// Store Clock Fast: store the local cycle clock to memory (§IV uses it
+    /// to time lock/tend sections).
+    Stckf(MemOperand),
+    /// Simulator helper: read the local cycle clock into a register
+    /// (avoids memory traffic in measurement code; see DESIGN.md).
+    Rdclk(Reg),
+    /// Simulator helper: `r ← uniform(0..bound)`. Zero cycle cost — the
+    /// paper excludes random-number-generation overhead from its
+    /// measurements (§IV).
+    RandMod(Reg, RegOrImm),
+
+    // ---- register-set controls (§II.B) ----
+    /// Set access register from a GR (AR-modifying).
+    Sar(u8, Reg),
+    /// Extract access register into a GR (not AR-modifying).
+    Ear(Reg, u8),
+    /// Floating-point add register (FPR-modifying; also excluded from
+    /// constrained transactions).
+    Adbr(u8, u8),
+    /// A storage-to-storage decimal operation stand-in: legal in normal
+    /// transactions, excluded from constrained ones (§II.D).
+    Decimal,
+    /// A privileged-instruction stand-in: restricted in any transaction
+    /// (§II.A).
+    Privileged,
+
+    // ---- misc ----
+    /// No operation.
+    Nop,
+    /// Burn the given number of cycles in one instruction (models a pause /
+    /// back-off loop without simulating each iteration).
+    Delay(u64),
+    /// Stop this CPU.
+    Halt,
+}
+
+impl Instr {
+    /// Encoded length in bytes (z instructions are 2, 4, or 6 bytes; these
+    /// lengths drive the constrained-transaction text-span rule, §II.D).
+    pub fn len(&self) -> u64 {
+        use Instr::*;
+        match self {
+            Nop | Halt => 2,
+            Delay(..) => 4,
+            Lghi(..) | Lgr(..) | Agr(..) | Sgr(..) | Aghi(..) | Ngr(..) | Xgr(..) | Msgr(..)
+            | Dsgr(..) | Ltgr(..) | Cgr(..) | Cghi(..) | Etnd(..) | Ppa(..) | Rdclk(..)
+            | RandMod(..) | Sar(..) | Ear(..) | Adbr(..) | Br(..) | Tend => 4,
+            La(..) | Brc(..) | Brctg(..) => 4,
+            Lg(..) | Stg(..) | Ltg(..) | Csg(..) | Ntstg(..) | Sllg(..) | Srlg(..) | Cgij(..)
+            | Tbegin(..) | Tbeginc(..) | Tabort(..) | Stckf(..) | Decimal | Privileged => 6,
+        }
+    }
+
+    /// Always false; instructions occupy at least 2 bytes. Present to pair
+    /// with [`Instr::len`] per Rust API conventions.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Branch-target instruction index, if this is a resolved branch.
+    pub fn branch_target(&self) -> Option<usize> {
+        match self {
+            Instr::Brc(_, t) | Instr::Cgij(_, _, _, t) | Instr::Brctg(_, t) => Some(*t),
+            _ => None,
+        }
+    }
+
+    /// The transactional-legality classification (consumed by
+    /// [`ztm_core::TxEngine::check_instruction`]). `backward` reports branch
+    /// direction and must be supplied by the program (which knows addresses).
+    pub fn class(&self, backward: bool) -> InstrClass {
+        use Instr::*;
+        match self {
+            Brc(..) | Cgij(..) | Brctg(..) => InstrClass::BranchRelative { backward },
+            Br(..) => InstrClass::BranchOther,
+            Sar(..) => InstrClass::ArModifying,
+            Adbr(..) => InstrClass::FprModifying,
+            Decimal => InstrClass::RestrictedInConstrained,
+            Privileged => InstrClass::RestrictedInTx,
+            _ => InstrClass::General,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::gr::*;
+
+    #[test]
+    fn lengths_are_z_like() {
+        assert_eq!(Instr::Nop.len(), 2);
+        assert_eq!(Instr::Lghi(R1, 0).len(), 4);
+        assert_eq!(Instr::Lg(R1, MemOperand::absolute(0)).len(), 6);
+        assert_eq!(Instr::Tend.len(), 4);
+        assert_eq!(Instr::Tbeginc(GrSaveMask::ALL).len(), 6);
+        assert!(!Instr::Nop.is_empty());
+    }
+
+    #[test]
+    fn classification() {
+        assert_eq!(
+            Instr::Brc(7, 0).class(true),
+            InstrClass::BranchRelative { backward: true }
+        );
+        assert_eq!(Instr::Br(R1).class(false), InstrClass::BranchOther);
+        assert_eq!(Instr::Sar(1, R1).class(false), InstrClass::ArModifying);
+        assert_eq!(Instr::Adbr(0, 2).class(false), InstrClass::FprModifying);
+        assert_eq!(
+            Instr::Decimal.class(false),
+            InstrClass::RestrictedInConstrained
+        );
+        assert_eq!(Instr::Privileged.class(false), InstrClass::RestrictedInTx);
+        assert_eq!(
+            Instr::Lg(R1, MemOperand::absolute(0)).class(false),
+            InstrClass::General
+        );
+    }
+
+    #[test]
+    fn cmp_cond_eval() {
+        assert!(CmpCond::Ge.eval(5, 5));
+        assert!(CmpCond::Ge.eval(6, 5));
+        assert!(!CmpCond::Ge.eval(4, 5));
+        assert!(CmpCond::Ne.eval(1, 2));
+        assert!(CmpCond::Le.eval(-1, 0));
+        assert!(CmpCond::Gt.eval(3, 2) && !CmpCond::Gt.eval(2, 2));
+        assert!(CmpCond::Eq.eval(0, 0) && CmpCond::Lt.eval(-2, -1));
+    }
+
+    #[test]
+    fn branch_targets() {
+        assert_eq!(Instr::Brc(15, 7).branch_target(), Some(7));
+        assert_eq!(Instr::Nop.branch_target(), None);
+    }
+
+    #[test]
+    fn mem_operand_forms() {
+        let m = MemOperand::based(R5, 16);
+        assert_eq!(m.base, Some(R5));
+        assert_eq!(m.disp, 16);
+        let a = MemOperand::absolute(0x1000);
+        assert_eq!(a.base, None);
+        assert_eq!(a.disp, 0x1000);
+        let i = MemOperand::indexed(R5, R6, -8);
+        assert_eq!(i.index, Some(R6));
+        assert_eq!(i.disp, -8);
+    }
+}

@@ -1,0 +1,686 @@
+//! The [`Machine`] port: everything the CPU interpreter needs from the
+//! memory/transaction subsystem, plus a reference single-CPU implementation.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use ztm_core::{
+    AbortCause, AbortOutcome, InstrClass, ProgramException, TbeginParams, TendOutcome, TxEngine,
+};
+use ztm_mem::{Address, MainMemory, PageAddr, PageTable};
+
+/// Result of a load or store presented to the machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessResult {
+    /// The access completed. `value` is meaningful for loads.
+    Done {
+        /// Loaded value (0 for stores).
+        value: u64,
+        /// Access latency in cycles.
+        cycles: u64,
+    },
+    /// The access could not complete because a conflicting owner stiff-armed
+    /// the XI; retry the instruction after `cycles` (§III.C).
+    Stall {
+        /// Back-off delay before the retry.
+        cycles: u64,
+    },
+    /// A program-exception condition was detected.
+    Fault(ProgramException),
+}
+
+/// Result of a compare-and-swap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CasResult {
+    /// The interlocked update completed.
+    Done {
+        /// Whether the swap happened (comparison matched).
+        swapped: bool,
+        /// The value observed in memory.
+        old: u64,
+        /// Access latency in cycles.
+        cycles: u64,
+    },
+    /// Ownership could not be obtained yet; retry after `cycles`.
+    Stall {
+        /// Back-off delay before the retry.
+        cycles: u64,
+    },
+    /// A program-exception condition was detected.
+    Fault(ProgramException),
+}
+
+/// Result of TEND as seen by the interpreter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EndResult {
+    /// TEND executed outside transactional-execution mode.
+    NotInTx,
+    /// An inner nesting level closed.
+    Inner {
+        /// Execution cost.
+        cycles: u64,
+    },
+    /// The outermost transaction committed.
+    Commit {
+        /// Execution cost.
+        cycles: u64,
+    },
+    /// The diagnostic control forced an abort instead of committing
+    /// (§II.E.3); the abort is pending.
+    AbortPending,
+}
+
+/// What the interpreter must apply after the machine processed an abort.
+#[derive(Debug, Clone)]
+pub struct AbortApply {
+    /// Byte address where execution resumes.
+    pub resume_ia: u64,
+    /// Condition code to set (2 or 3).
+    pub cc: u8,
+    /// Registers to restore from the backup file.
+    pub gr_restores: Vec<(usize, u64)>,
+    /// Total cycles consumed (millicode + OS + retry delay).
+    pub cycles: u64,
+    /// The simulated OS terminated the program.
+    pub terminated: Option<String>,
+    /// The constrained-retry ladder requested a broadcast-stop quiesce of
+    /// all other CPUs for the next retry (§III.E).
+    pub broadcast_stop: bool,
+}
+
+/// How the simulated OS handles an unfiltered exception.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OsDisposition {
+    /// Service the fault (page-in) and let the program retry.
+    PageIn(PageAddr),
+    /// Observe (debugger/PER) and let the program continue.
+    Observe,
+    /// Terminate the program.
+    Terminate(String),
+}
+
+/// A minimal OS model: interruption costs and exception dispositions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OsModel {
+    /// Cycles to service a page fault (trap + page-in + return).
+    pub page_in_cost: u64,
+    /// Cycles for an observational interruption (PER/debugger).
+    pub observe_cost: u64,
+    /// Cycles for an asynchronous interruption.
+    pub async_cost: u64,
+}
+
+impl OsModel {
+    /// Decides what the OS does with an unfiltered program exception.
+    pub fn disposition(&self, pe: ProgramException) -> OsDisposition {
+        match pe {
+            ProgramException::PageFault { address } => {
+                OsDisposition::PageIn(Address::new(address).page())
+            }
+            ProgramException::PerEvent => OsDisposition::Observe,
+            ProgramException::FixedPointDivide => {
+                OsDisposition::Terminate("fixed-point divide exception".into())
+            }
+            ProgramException::Operation => OsDisposition::Terminate("operation exception".into()),
+            ProgramException::Specification => {
+                OsDisposition::Terminate("specification exception".into())
+            }
+            ProgramException::ConstraintViolation => {
+                OsDisposition::Terminate("transaction constraint violation".into())
+            }
+        }
+    }
+}
+
+impl Default for OsModel {
+    fn default() -> Self {
+        OsModel {
+            page_in_cost: 5_000,
+            observe_cost: 500,
+            async_cost: 1_000,
+        }
+    }
+}
+
+/// Disposition of an exception reported by the interpreter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExceptionDisposition {
+    /// The OS serviced it; re-execute the instruction after `cycles`.
+    Retry {
+        /// Interruption service cost.
+        cycles: u64,
+    },
+    /// The exception aborts the pending transaction; the abort is pending.
+    PendingAbort,
+    /// The program is terminated.
+    Terminate(String),
+}
+
+/// Shared tail of abort processing: applies TDB stores and OS handling to an
+/// [`AbortOutcome`]. Used by every [`Machine`] implementation.
+pub fn finish_abort(
+    out: AbortOutcome,
+    mem: &mut MainMemory,
+    pages: &mut PageTable,
+    os: &OsModel,
+    prefix_area: Address,
+) -> AbortApply {
+    let mut cycles = out.cycles;
+    if let Some((addr, tdb)) = &out.tdb {
+        tdb.store_to(mem, *addr);
+    }
+    if let Some(tdb) = &out.prefix_tdb {
+        tdb.store_to(mem, prefix_area);
+    }
+    let mut terminated = None;
+    if out.os_interruption {
+        match out.cause {
+            AbortCause::UnfilteredProgramException(pe) => match os.disposition(pe) {
+                OsDisposition::PageIn(page) => {
+                    pages.page_in(page);
+                    cycles += os.page_in_cost;
+                }
+                OsDisposition::Observe => cycles += os.observe_cost,
+                OsDisposition::Terminate(msg) => terminated = Some(msg),
+            },
+            AbortCause::AsynchronousInterruption => cycles += os.async_cost,
+            _ => {}
+        }
+    }
+    let mut broadcast_stop = false;
+    if let Some(retry) = out.retry {
+        cycles += retry.delay;
+        broadcast_stop = retry.broadcast_stop;
+    }
+    AbortApply {
+        resume_ia: out.resume_ia,
+        cc: out.cc,
+        gr_restores: out.gr_restores,
+        cycles,
+        terminated,
+        broadcast_stop,
+    }
+}
+
+/// The port through which the CPU interpreter touches memory and the
+/// Transactional Execution machinery.
+///
+/// Implemented by `ztm_sim::System` (full multi-CPU model with the cache
+/// hierarchy and coherence fabric) and by [`SimpleMachine`] (single-CPU
+/// reference used for ISA-semantics tests and examples).
+pub trait Machine {
+    /// Fetches the instruction at `addr` through the instruction cache.
+    /// Returns the fetch cost; instruction-fetch page faults are reported
+    /// as faults and are *never* filtered (§II.C).
+    fn ifetch(&mut self, addr: Address) -> AccessResult;
+    /// Loads `len` (1–8) bytes at `addr`, big-endian, right-aligned.
+    /// `for_update` hints that a store to the same line is imminent (the
+    /// OoO LSU merges the load miss with the store's exclusive fetch, so
+    /// the line is fetched exclusive once — zEC12 behavior that lets
+    /// stiff-arming protect the whole read-modify-write, §III.C).
+    fn load(&mut self, addr: Address, len: u8, for_update: bool) -> AccessResult;
+    /// Stores the low `len` bytes of `value` at `addr`.
+    fn store(&mut self, addr: Address, len: u8, value: u64) -> AccessResult;
+    /// NTSTG: non-transactional 8-byte store (§II.A). Must be doubleword
+    /// aligned.
+    fn store_nontx(&mut self, addr: Address, value: u64) -> AccessResult;
+    /// Interlocked 8-byte compare-and-swap.
+    fn compare_and_swap(&mut self, addr: Address, expected: u64, new: u64) -> CasResult;
+
+    /// TBEGIN/TBEGINC. Abort conditions (nesting overflow, begin inside a
+    /// constrained transaction) become pending aborts. Returns the begin
+    /// cost in cycles.
+    fn tx_begin(
+        &mut self,
+        constrained: bool,
+        params: TbeginParams,
+        grs: &[u64; 16],
+        ia: u64,
+        next_ia: u64,
+    ) -> u64;
+    /// TEND.
+    fn tx_end(&mut self) -> EndResult;
+    /// TABORT: requests an immediate abort with the given code.
+    fn tx_abort_request(&mut self, code: u64);
+    /// Current transaction nesting depth (ETND).
+    fn tx_depth(&self) -> u64;
+    /// Whether the CPU is in transactional-execution mode.
+    fn in_tx(&self) -> bool;
+
+    /// Per-instruction legality check (restricted instructions, AR/FPR
+    /// controls, constrained constraints, diagnostic-control tick).
+    /// Violations become pending aborts.
+    fn check_instruction(&mut self, class: InstrClass, ia: u64, len: u64);
+    /// Called after each completed instruction (resets the XI-reject
+    /// counter, §III.C).
+    fn instruction_retired(&mut self);
+    /// Whether an abort is pending.
+    fn pending_abort(&self) -> bool;
+    /// Processes the pending abort (millicode, §III.E).
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if no abort is pending.
+    fn take_abort(&mut self, grs: &[u64; 16], atia: u64) -> AbortApply;
+    /// Reports a program-exception condition detected while executing.
+    fn report_exception(
+        &mut self,
+        pe: ProgramException,
+        instruction_fetch: bool,
+    ) -> ExceptionDisposition;
+    /// PPA function-code-TX delay for the given abort count (§II.A).
+    fn ppa(&mut self, abort_count: u64) -> u64;
+    /// Uniform random value in `0..bound` (the RAND pseudo-instruction).
+    fn rand(&mut self, bound: u64) -> u64;
+}
+
+/// A reference single-CPU [`Machine`]: flat memory with a byte-granular
+/// transactional overlay, a real [`TxEngine`], fixed 1-cycle accesses, and no
+/// coherence (there is nobody to conflict with).
+///
+/// Useful for testing and demonstrating ISA-level transaction semantics —
+/// atomicity, register rollback, nesting, filtering — without the cache
+/// model. The full-system behavior lives in `ztm_sim::System`.
+///
+/// # Examples
+///
+/// ```
+/// use ztm_isa::{Assembler, MemOperand, SimpleMachine, gr::*};
+/// use ztm_isa::run_to_halt;
+/// use ztm_core::TbeginParams;
+///
+/// let mut a = Assembler::new(0);
+/// a.tbegin(TbeginParams::new());
+/// a.jnz("skip");
+/// a.lghi(R1, 7);
+/// a.stg(R1, MemOperand::absolute(0x1000));
+/// a.tend();
+/// a.label("skip");
+/// a.halt();
+/// let prog = a.assemble()?;
+///
+/// let mut m = SimpleMachine::new(1);
+/// let core = run_to_halt(&prog, &mut m, 10_000);
+/// assert_eq!(m.mem.load_u64(ztm_mem::Address::new(0x1000)), 7);
+/// assert_eq!(core.instructions, 5); // HALT does not retire
+/// # Ok::<(), ztm_isa::AsmError>(())
+/// ```
+#[derive(Debug)]
+pub struct SimpleMachine {
+    /// Committed memory.
+    pub mem: MainMemory,
+    /// Page residency (evict pages to inject faults).
+    pub pages: PageTable,
+    /// The transaction engine.
+    pub engine: TxEngine,
+    /// OS model.
+    pub os: OsModel,
+    /// Where the prefix-area TDB copy is stored.
+    pub prefix_area: Address,
+    overlay: HashMap<u64, u8>,
+    ntstg_buffer: Vec<(Address, u64)>,
+    rng: SmallRng,
+}
+
+impl SimpleMachine {
+    /// Creates a machine with the given RNG seed.
+    pub fn new(seed: u64) -> Self {
+        SimpleMachine {
+            mem: MainMemory::new(),
+            pages: PageTable::all_resident(),
+            engine: TxEngine::default(),
+            os: OsModel::default(),
+            prefix_area: Address::new(0xF000),
+            overlay: HashMap::new(),
+            ntstg_buffer: Vec::new(),
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    fn read(&self, addr: Address, len: u8) -> u64 {
+        let mut v = 0u64;
+        for i in 0..len {
+            let a = addr.add(i as u64);
+            let byte = self.overlay.get(&a.raw()).copied().unwrap_or_else(|| {
+                let mut b = [0u8; 1];
+                self.mem.load_bytes(a, &mut b);
+                b[0]
+            });
+            v = v << 8 | byte as u64;
+        }
+        v
+    }
+
+    fn write(&mut self, addr: Address, len: u8, value: u64) {
+        let bytes = value.to_be_bytes();
+        let tx = self.engine.in_tx();
+        for i in 0..len as usize {
+            let a = addr.add(i as u64);
+            let b = bytes[8 - len as usize + i];
+            if tx {
+                self.overlay.insert(a.raw(), b);
+            } else {
+                self.mem.store_bytes(a, &[b]);
+            }
+        }
+    }
+
+    fn check_access(&mut self, addr: Address, len: u8) -> Result<(), ProgramException> {
+        if !addr.fits_in_line(len as u64) {
+            return Err(ProgramException::Specification);
+        }
+        if self.pages.access(addr).is_err() {
+            return Err(ProgramException::PageFault {
+                address: addr.raw(),
+            });
+        }
+        if self.engine.note_data_access(addr, len as u64).is_err() {
+            // Constrained footprint exceeded: pending constraint violation.
+            self.engine
+                .set_pending(AbortCause::UnfilteredProgramException(
+                    ProgramException::ConstraintViolation,
+                ));
+        }
+        Ok(())
+    }
+}
+
+impl Machine for SimpleMachine {
+    fn ifetch(&mut self, addr: Address) -> AccessResult {
+        if self.pages.access(addr).is_err() {
+            return AccessResult::Fault(ProgramException::PageFault {
+                address: addr.raw(),
+            });
+        }
+        AccessResult::Done {
+            value: 0,
+            cycles: 0,
+        }
+    }
+
+    fn load(&mut self, addr: Address, len: u8, _for_update: bool) -> AccessResult {
+        if let Err(pe) = self.check_access(addr, len) {
+            return AccessResult::Fault(pe);
+        }
+        AccessResult::Done {
+            value: self.read(addr, len),
+            cycles: 1,
+        }
+    }
+
+    fn store(&mut self, addr: Address, len: u8, value: u64) -> AccessResult {
+        if let Err(pe) = self.check_access(addr, len) {
+            return AccessResult::Fault(pe);
+        }
+        self.write(addr, len, value);
+        AccessResult::Done {
+            value: 0,
+            cycles: 1,
+        }
+    }
+
+    fn store_nontx(&mut self, addr: Address, value: u64) -> AccessResult {
+        if !addr.is_aligned(8) {
+            return AccessResult::Fault(ProgramException::Specification);
+        }
+        if let Err(pe) = self.check_access(addr, 8) {
+            return AccessResult::Fault(pe);
+        }
+        if self.engine.in_tx() {
+            // Isolated until transaction end, but survives aborts.
+            self.write(addr, 8, value);
+            self.ntstg_buffer.push((addr, value));
+        } else {
+            self.write(addr, 8, value);
+        }
+        AccessResult::Done {
+            value: 0,
+            cycles: 1,
+        }
+    }
+
+    fn compare_and_swap(&mut self, addr: Address, expected: u64, new: u64) -> CasResult {
+        if let Err(pe) = self.check_access(addr, 8) {
+            return CasResult::Fault(pe);
+        }
+        let old = self.read(addr, 8);
+        let swapped = old == expected;
+        if swapped {
+            self.write(addr, 8, new);
+        }
+        CasResult::Done {
+            swapped,
+            old,
+            cycles: 12,
+        }
+    }
+
+    fn tx_begin(
+        &mut self,
+        constrained: bool,
+        params: TbeginParams,
+        grs: &[u64; 16],
+        ia: u64,
+        next_ia: u64,
+    ) -> u64 {
+        let outermost = !self.engine.in_tx();
+        match self
+            .engine
+            .begin(params, constrained, grs, ia, next_ia, &mut self.rng)
+        {
+            Ok(ztm_core::BeginOutcome::Outermost { cycles }) => {
+                if outermost {
+                    self.overlay.clear();
+                    self.ntstg_buffer.clear();
+                }
+                cycles
+            }
+            Ok(ztm_core::BeginOutcome::Nested) => 2,
+            Err(cause) => {
+                self.engine.set_pending(cause);
+                1
+            }
+        }
+    }
+
+    fn tx_end(&mut self) -> EndResult {
+        if self.engine.in_tx() && self.engine.tdc_forces_abort_at_tend() {
+            self.engine.set_pending(AbortCause::Diagnostic);
+            return EndResult::AbortPending;
+        }
+        match self.engine.tend() {
+            TendOutcome::NotInTx => EndResult::NotInTx,
+            TendOutcome::Inner => EndResult::Inner { cycles: 1 },
+            TendOutcome::Commit { cycles } => {
+                // Publish the speculative bytes.
+                let overlay = std::mem::take(&mut self.overlay);
+                for (a, b) in overlay {
+                    self.mem.store_bytes(Address::new(a), &[b]);
+                }
+                self.ntstg_buffer.clear();
+                EndResult::Commit { cycles }
+            }
+        }
+    }
+
+    fn tx_abort_request(&mut self, code: u64) {
+        self.engine.set_pending(AbortCause::Tabort(code.max(256)));
+    }
+
+    fn tx_depth(&self) -> u64 {
+        self.engine.depth() as u64
+    }
+
+    fn in_tx(&self) -> bool {
+        self.engine.in_tx()
+    }
+
+    fn check_instruction(&mut self, class: InstrClass, ia: u64, len: u64) {
+        if let Err(cause) = self.engine.check_instruction(class, ia, len) {
+            self.engine.set_pending(cause);
+            return;
+        }
+        if let Some(cause) = self.engine.tdc_tick(&mut self.rng) {
+            self.engine.set_pending(cause);
+        }
+    }
+
+    fn instruction_retired(&mut self) {}
+
+    fn pending_abort(&self) -> bool {
+        self.engine.pending_abort().is_some()
+    }
+
+    fn take_abort(&mut self, grs: &[u64; 16], atia: u64) -> AbortApply {
+        let cause = self
+            .engine
+            .pending_abort()
+            .expect("take_abort without a pending abort");
+        // Roll back speculative state, keeping NTSTG doublewords.
+        self.overlay.clear();
+        let ntstg = std::mem::take(&mut self.ntstg_buffer);
+        for (addr, value) in ntstg {
+            self.mem.store_u64(addr, value);
+        }
+        let out = self.engine.process_abort(cause, grs, atia, &mut self.rng);
+        finish_abort(
+            out,
+            &mut self.mem,
+            &mut self.pages,
+            &self.os,
+            self.prefix_area,
+        )
+    }
+
+    fn report_exception(
+        &mut self,
+        pe: ProgramException,
+        instruction_fetch: bool,
+    ) -> ExceptionDisposition {
+        if self.engine.in_tx() {
+            let cause = self.engine.classify_exception(pe, instruction_fetch);
+            self.engine.set_pending(cause);
+            return ExceptionDisposition::PendingAbort;
+        }
+        match self.os.disposition(pe) {
+            OsDisposition::PageIn(page) => {
+                self.pages.page_in(page);
+                ExceptionDisposition::Retry {
+                    cycles: self.os.page_in_cost,
+                }
+            }
+            OsDisposition::Observe => ExceptionDisposition::Retry {
+                cycles: self.os.observe_cost,
+            },
+            OsDisposition::Terminate(msg) => ExceptionDisposition::Terminate(msg),
+        }
+    }
+
+    fn ppa(&mut self, abort_count: u64) -> u64 {
+        self.engine.ppa_tx_assist(abort_count, &mut self.rng)
+    }
+
+    fn rand(&mut self, bound: u64) -> u64 {
+        if bound <= 1 {
+            0
+        } else {
+            self.rng.gen_range(0..bound)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn os_dispositions() {
+        let os = OsModel::default();
+        assert_eq!(
+            os.disposition(ProgramException::PageFault { address: 0x5000 }),
+            OsDisposition::PageIn(Address::new(0x5000).page())
+        );
+        assert_eq!(
+            os.disposition(ProgramException::PerEvent),
+            OsDisposition::Observe
+        );
+        assert!(matches!(
+            os.disposition(ProgramException::FixedPointDivide),
+            OsDisposition::Terminate(_)
+        ));
+    }
+
+    #[test]
+    fn simple_machine_overlay_isolation() {
+        let mut m = SimpleMachine::new(1);
+        m.mem.store_u64(Address::new(0x100), 1);
+        let grs = [0u64; 16];
+        m.tx_begin(false, TbeginParams::new(), &grs, 0, 6);
+        m.store(Address::new(0x100), 8, 99);
+        // Committed image unchanged while speculating.
+        assert_eq!(m.mem.load_u64(Address::new(0x100)), 1);
+        // But the transaction sees its own store.
+        match m.load(Address::new(0x100), 8, false) {
+            AccessResult::Done { value, .. } => assert_eq!(value, 99),
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(m.tx_end(), EndResult::Commit { .. }));
+        assert_eq!(m.mem.load_u64(Address::new(0x100)), 99);
+    }
+
+    #[test]
+    fn simple_machine_abort_rolls_back_but_keeps_ntstg() {
+        let mut m = SimpleMachine::new(1);
+        m.mem.store_u64(Address::new(0x100), 1);
+        let grs = [7u64; 16];
+        m.tx_begin(false, TbeginParams::new(), &grs, 0x10, 0x16);
+        m.store(Address::new(0x100), 8, 99);
+        m.store_nontx(Address::new(0x200), 42);
+        m.tx_abort_request(260);
+        assert!(m.pending_abort());
+        let apply = m.take_abort(&grs, 0x20);
+        assert_eq!(apply.cc, 2);
+        assert_eq!(apply.resume_ia, 0x16);
+        assert_eq!(m.mem.load_u64(Address::new(0x100)), 1, "rolled back");
+        assert_eq!(m.mem.load_u64(Address::new(0x200)), 42, "NTSTG survives");
+    }
+
+    #[test]
+    fn page_fault_outside_tx_is_serviced() {
+        let mut m = SimpleMachine::new(1);
+        m.pages.evict(Address::new(0x3000).page());
+        match m.load(Address::new(0x3000), 8, false) {
+            AccessResult::Fault(pe) => {
+                let d = m.report_exception(pe, false);
+                assert!(matches!(d, ExceptionDisposition::Retry { .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+        // Retry succeeds.
+        assert!(matches!(
+            m.load(Address::new(0x3000), 8, false),
+            AccessResult::Done { .. }
+        ));
+    }
+
+    #[test]
+    fn cas_semantics() {
+        let mut m = SimpleMachine::new(1);
+        m.mem.store_u64(Address::new(0x80), 5);
+        match m.compare_and_swap(Address::new(0x80), 5, 9) {
+            CasResult::Done { swapped, old, .. } => {
+                assert!(swapped);
+                assert_eq!(old, 5);
+            }
+            other => panic!("{other:?}"),
+        }
+        match m.compare_and_swap(Address::new(0x80), 5, 11) {
+            CasResult::Done { swapped, old, .. } => {
+                assert!(!swapped);
+                assert_eq!(old, 9);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(m.mem.load_u64(Address::new(0x80)), 9);
+    }
+}

@@ -1,0 +1,312 @@
+//! Strongly-typed addresses and zEC12 geometry constants.
+
+use std::fmt;
+
+/// Cache-line size in bytes (zEC12: 256-byte lines at every cache level).
+pub const LINE_SIZE: u64 = 256;
+/// Gathering-store-cache entry granule in bytes (zEC12: 128 bytes, §III.D).
+pub const HALF_LINE_SIZE: u64 = 128;
+/// Octoword size in bytes. Constrained transactions may touch at most 4
+/// aligned octowords (§II.D).
+pub const OCTOWORD_SIZE: u64 = 32;
+/// Page size in bytes.
+pub const PAGE_SIZE: u64 = 4096;
+
+/// A byte address in the simulated physical memory.
+///
+/// `Address` is a transparent `u64` newtype; it exists so that byte addresses,
+/// line addresses and page addresses cannot be confused (C-NEWTYPE).
+///
+/// # Examples
+///
+/// ```
+/// use ztm_mem::Address;
+/// let a = Address::new(0x12345);
+/// assert_eq!(a.line().index(), 0x123);
+/// assert_eq!(a.offset_in_line(), 0x45);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Address(u64);
+
+impl Address {
+    /// Creates an address from a raw byte offset.
+    pub const fn new(raw: u64) -> Self {
+        Address(raw)
+    }
+
+    /// Returns the raw byte offset.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The cache line containing this address.
+    pub const fn line(self) -> LineAddr {
+        LineAddr(self.0 / LINE_SIZE)
+    }
+
+    /// The 128-byte store-cache granule containing this address.
+    pub const fn half_line(self) -> HalfLineAddr {
+        HalfLineAddr(self.0 / HALF_LINE_SIZE)
+    }
+
+    /// The aligned octoword containing this address.
+    pub const fn octoword(self) -> Octoword {
+        Octoword(self.0 / OCTOWORD_SIZE)
+    }
+
+    /// The page containing this address.
+    pub const fn page(self) -> PageAddr {
+        PageAddr(self.0 / PAGE_SIZE)
+    }
+
+    /// Byte offset of this address within its cache line.
+    pub const fn offset_in_line(self) -> u64 {
+        self.0 % LINE_SIZE
+    }
+
+    /// Byte offset of this address within its half line.
+    pub const fn offset_in_half_line(self) -> u64 {
+        self.0 % HALF_LINE_SIZE
+    }
+
+    /// Returns the address advanced by `bytes`.
+    pub const fn add(self, bytes: u64) -> Self {
+        Address(self.0 + bytes)
+    }
+
+    /// Whether an access of `len` bytes starting here stays within one cache
+    /// line. The simulated ISA requires operands not to cross line boundaries
+    /// (real z/Architecture allows it; the simplification is documented in
+    /// DESIGN.md and does not affect any experiment, which all use aligned
+    /// fields).
+    pub const fn fits_in_line(self, len: u64) -> bool {
+        self.0 / LINE_SIZE == (self.0 + len - 1) / LINE_SIZE
+    }
+
+    /// Whether the address is aligned to `align` bytes (`align` must be a
+    /// power of two).
+    pub const fn is_aligned(self, align: u64) -> bool {
+        self.0 & (align - 1) == 0
+    }
+}
+
+impl fmt::Display for Address {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for Address {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl From<u64> for Address {
+    fn from(raw: u64) -> Self {
+        Address(raw)
+    }
+}
+
+impl From<Address> for u64 {
+    fn from(a: Address) -> Self {
+        a.0
+    }
+}
+
+/// A 256-byte cache-line address (byte address divided by [`LINE_SIZE`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct LineAddr(u64);
+
+impl LineAddr {
+    /// Creates a line address from a line index (not a byte address).
+    pub const fn new(index: u64) -> Self {
+        LineAddr(index)
+    }
+
+    /// The line index (byte address / 256).
+    pub const fn index(self) -> u64 {
+        self.0
+    }
+
+    /// Byte address of the first byte of the line.
+    pub const fn base(self) -> Address {
+        Address(self.0 * LINE_SIZE)
+    }
+
+    /// Congruence class (set index) of this line in a cache with `sets` sets.
+    ///
+    /// Both the L1 (64 sets) and L2 (512 sets) of the zEC12 index by the low
+    /// line-address bits; the paper's LRU-extension vector (§III.C) tracks
+    /// the 64 L1 rows by exactly this function.
+    pub const fn congruence_class(self, sets: usize) -> usize {
+        (self.0 % sets as u64) as usize
+    }
+
+    /// The two half-line granules making up this line.
+    pub const fn half_lines(self) -> [HalfLineAddr; 2] {
+        [HalfLineAddr(self.0 * 2), HalfLineAddr(self.0 * 2 + 1)]
+    }
+}
+
+impl fmt::Display for LineAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line:{:#x}", self.0)
+    }
+}
+
+/// A 128-byte gathering-store-cache granule address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct HalfLineAddr(u64);
+
+impl HalfLineAddr {
+    /// Creates a half-line address from a granule index.
+    pub const fn new(index: u64) -> Self {
+        HalfLineAddr(index)
+    }
+
+    /// The granule index (byte address / 128).
+    pub const fn index(self) -> u64 {
+        self.0
+    }
+
+    /// Byte address of the first byte of the granule.
+    pub const fn base(self) -> Address {
+        Address(self.0 * HALF_LINE_SIZE)
+    }
+
+    /// The cache line containing this granule.
+    pub const fn line(self) -> LineAddr {
+        LineAddr(self.0 / 2)
+    }
+}
+
+impl fmt::Display for HalfLineAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "half:{:#x}", self.0)
+    }
+}
+
+/// A 32-byte aligned octoword address, the footprint unit of constrained
+/// transactions (§II.D: at most 4 octowords may be accessed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Octoword(u64);
+
+impl Octoword {
+    /// Creates an octoword address from an octoword index.
+    pub const fn new(index: u64) -> Self {
+        Octoword(index)
+    }
+
+    /// The octoword index (byte address / 32).
+    pub const fn index(self) -> u64 {
+        self.0
+    }
+
+    /// Byte address of the first byte of the octoword.
+    pub const fn base(self) -> Address {
+        Address(self.0 * OCTOWORD_SIZE)
+    }
+}
+
+impl fmt::Display for Octoword {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "oct:{:#x}", self.0)
+    }
+}
+
+/// A 4 KiB page address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PageAddr(u64);
+
+impl PageAddr {
+    /// Creates a page address from a page index.
+    pub const fn new(index: u64) -> Self {
+        PageAddr(index)
+    }
+
+    /// The page index (byte address / 4096).
+    pub const fn index(self) -> u64 {
+        self.0
+    }
+
+    /// Byte address of the first byte of the page.
+    pub const fn base(self) -> Address {
+        Address(self.0 * PAGE_SIZE)
+    }
+}
+
+impl fmt::Display for PageAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "page:{:#x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn address_decomposition() {
+        let a = Address::new(0x1234);
+        assert_eq!(a.line(), LineAddr::new(0x12));
+        assert_eq!(a.offset_in_line(), 0x34);
+        assert_eq!(a.half_line(), HalfLineAddr::new(0x24));
+        assert_eq!(a.page(), PageAddr::new(0x1));
+        assert_eq!(a.octoword(), Octoword::new(0x1234 / 32));
+    }
+
+    #[test]
+    fn line_round_trip() {
+        let l = LineAddr::new(7);
+        assert_eq!(l.base().line(), l);
+        assert_eq!(l.base().raw(), 7 * 256);
+    }
+
+    #[test]
+    fn half_lines_of_line() {
+        let l = LineAddr::new(3);
+        let [a, b] = l.half_lines();
+        assert_eq!(a.line(), l);
+        assert_eq!(b.line(), l);
+        assert_eq!(b.index(), a.index() + 1);
+    }
+
+    #[test]
+    fn congruence_class_wraps() {
+        assert_eq!(LineAddr::new(64).congruence_class(64), 0);
+        assert_eq!(LineAddr::new(65).congruence_class(64), 1);
+        assert_eq!(LineAddr::new(511).congruence_class(512), 511);
+    }
+
+    #[test]
+    fn fits_in_line_boundaries() {
+        assert!(Address::new(0).fits_in_line(256));
+        assert!(!Address::new(1).fits_in_line(256));
+        assert!(Address::new(248).fits_in_line(8));
+        assert!(!Address::new(252).fits_in_line(8));
+    }
+
+    #[test]
+    fn alignment() {
+        assert!(Address::new(64).is_aligned(32));
+        assert!(!Address::new(65).is_aligned(2));
+        assert!(Address::new(0).is_aligned(4096));
+    }
+
+    #[test]
+    fn display_formats_nonempty() {
+        assert_eq!(Address::new(255).to_string(), "0xff");
+        assert!(!LineAddr::new(0).to_string().is_empty());
+        assert!(!PageAddr::new(0).to_string().is_empty());
+        assert!(!Octoword::new(0).to_string().is_empty());
+        assert!(!HalfLineAddr::new(0).to_string().is_empty());
+    }
+
+    #[test]
+    fn conversions() {
+        let a: Address = 10u64.into();
+        let r: u64 = a.into();
+        assert_eq!(r, 10);
+    }
+}

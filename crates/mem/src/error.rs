@@ -1,0 +1,60 @@
+//! Memory access fault types.
+
+use crate::{Address, PageAddr};
+use std::error::Error;
+use std::fmt;
+
+/// A fault raised by a simulated memory access.
+///
+/// Faults surface to the CPU model as program-exception conditions; inside a
+/// transaction they first abort the transaction (§II.C of the paper) and are
+/// then either filtered or presented to the simulated OS.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemFault {
+    /// The page containing the access is not resident (z "page translation
+    /// exception"); the OS model can resolve it by paging in.
+    PageFault(PageAddr),
+    /// The access crosses a cache-line boundary, which the simulated ISA does
+    /// not support (documented simplification).
+    CrossesLine(Address),
+    /// The access is not naturally aligned for its width where alignment is
+    /// required (e.g. NTSTG requires doubleword alignment).
+    Unaligned(Address),
+}
+
+impl fmt::Display for MemFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemFault::PageFault(p) => write!(f, "page fault on {p}"),
+            MemFault::CrossesLine(a) => write!(f, "access at {a} crosses a cache line"),
+            MemFault::Unaligned(a) => write!(f, "unaligned access at {a}"),
+        }
+    }
+}
+
+impl Error for MemFault {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            MemFault::PageFault(PageAddr::new(2)).to_string(),
+            "page fault on page:0x2"
+        );
+        assert!(MemFault::CrossesLine(Address::new(1))
+            .to_string()
+            .contains("crosses"));
+        assert!(MemFault::Unaligned(Address::new(3))
+            .to_string()
+            .contains("unaligned"));
+    }
+
+    #[test]
+    fn is_error_and_send_sync() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<MemFault>();
+    }
+}

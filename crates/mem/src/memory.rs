@@ -1,0 +1,156 @@
+//! The committed architectural memory image.
+
+use crate::{Address, LineAddr, LINE_SIZE};
+use std::collections::HashMap;
+
+/// The committed (architecturally visible) memory of the simulated system.
+///
+/// Storage is sparse: lines are allocated on first touch and zero-filled, so a
+/// benchmark can place data anywhere in the 64-bit space without cost.
+///
+/// `MainMemory` holds only *committed* state. Speculative transactional stores
+/// live in each CPU's gathering store cache / L1 overlay (see `ztm-cache`) and
+/// are merged in on commit; on abort they are simply discarded, which is how
+/// the simulator realizes the all-or-nothing atomicity of §II.A.
+///
+/// # Examples
+///
+/// ```
+/// use ztm_mem::{Address, MainMemory};
+///
+/// let mut mem = MainMemory::new();
+/// assert_eq!(mem.load_u64(Address::new(0)), 0); // untouched memory reads 0
+/// mem.store_u64(Address::new(8), 0xdead_beef);
+/// assert_eq!(mem.load_u64(Address::new(8)), 0xdead_beef);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MainMemory {
+    lines: HashMap<LineAddr, Box<[u8; LINE_SIZE as usize]>>,
+}
+
+impl MainMemory {
+    /// Creates an empty (all-zero) memory image.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of lines that have been touched (allocated).
+    pub fn resident_lines(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// Reads `buf.len()` bytes starting at `addr`. The access may span lines.
+    pub fn load_bytes(&self, addr: Address, buf: &mut [u8]) {
+        for (i, b) in buf.iter_mut().enumerate() {
+            let a = addr.add(i as u64);
+            *b = match self.lines.get(&a.line()) {
+                Some(line) => line[a.offset_in_line() as usize],
+                None => 0,
+            };
+        }
+    }
+
+    /// Writes `buf` starting at `addr`. The access may span lines.
+    pub fn store_bytes(&mut self, addr: Address, buf: &[u8]) {
+        for (i, b) in buf.iter().enumerate() {
+            let a = addr.add(i as u64);
+            let line = self
+                .lines
+                .entry(a.line())
+                .or_insert_with(|| Box::new([0u8; LINE_SIZE as usize]));
+            line[a.offset_in_line() as usize] = *b;
+        }
+    }
+
+    /// Reads a big-endian `u64` (z/Architecture is big-endian).
+    pub fn load_u64(&self, addr: Address) -> u64 {
+        let mut buf = [0u8; 8];
+        self.load_bytes(addr, &mut buf);
+        u64::from_be_bytes(buf)
+    }
+
+    /// Writes a big-endian `u64`.
+    pub fn store_u64(&mut self, addr: Address, value: u64) {
+        self.store_bytes(addr, &value.to_be_bytes());
+    }
+
+    /// Reads a big-endian `u32`.
+    pub fn load_u32(&self, addr: Address) -> u32 {
+        let mut buf = [0u8; 4];
+        self.load_bytes(addr, &mut buf);
+        u32::from_be_bytes(buf)
+    }
+
+    /// Writes a big-endian `u32`.
+    pub fn store_u32(&mut self, addr: Address, value: u32) {
+        self.store_bytes(addr, &value.to_be_bytes());
+    }
+
+    /// Returns a copy of the full line containing `addr` (zero-filled if
+    /// untouched).
+    pub fn line_contents(&self, line: LineAddr) -> [u8; LINE_SIZE as usize] {
+        match self.lines.get(&line) {
+            Some(l) => **l,
+            None => [0u8; LINE_SIZE as usize],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_fill_semantics() {
+        let mem = MainMemory::new();
+        assert_eq!(mem.load_u64(Address::new(0xdead_0000)), 0);
+        assert_eq!(mem.resident_lines(), 0);
+    }
+
+    #[test]
+    fn u64_round_trip_big_endian() {
+        let mut mem = MainMemory::new();
+        mem.store_u64(Address::new(16), 0x0102_0304_0506_0708);
+        let mut b = [0u8; 8];
+        mem.load_bytes(Address::new(16), &mut b);
+        assert_eq!(b, [1, 2, 3, 4, 5, 6, 7, 8]);
+        assert_eq!(mem.load_u64(Address::new(16)), 0x0102_0304_0506_0708);
+    }
+
+    #[test]
+    fn u32_round_trip() {
+        let mut mem = MainMemory::new();
+        mem.store_u32(Address::new(100), 0xCAFE_F00D);
+        assert_eq!(mem.load_u32(Address::new(100)), 0xCAFE_F00D);
+    }
+
+    #[test]
+    fn cross_line_access() {
+        let mut mem = MainMemory::new();
+        // Write 8 bytes straddling the line boundary at 256.
+        mem.store_u64(Address::new(252), u64::MAX);
+        assert_eq!(mem.load_u64(Address::new(252)), u64::MAX);
+        assert_eq!(mem.resident_lines(), 2);
+    }
+
+    #[test]
+    fn line_contents_reflects_stores() {
+        let mut mem = MainMemory::new();
+        mem.store_u64(Address::new(256 + 8), 0x1122_3344_5566_7788);
+        let line = mem.line_contents(LineAddr::new(1));
+        assert_eq!(line[8], 0x11);
+        assert_eq!(line[15], 0x88);
+        assert_eq!(line[0], 0);
+        // Untouched line is zero.
+        assert_eq!(mem.line_contents(LineAddr::new(42)), [0u8; 256]);
+    }
+
+    #[test]
+    fn overlapping_stores_last_wins() {
+        let mut mem = MainMemory::new();
+        mem.store_u64(Address::new(0), 1);
+        mem.store_u64(Address::new(4), 2);
+        assert_eq!(mem.load_u32(Address::new(0)), 0);
+        assert_eq!(mem.load_u64(Address::new(4)), 2);
+    }
+}

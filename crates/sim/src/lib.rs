@@ -1,0 +1,27 @@
+//! The multi-CPU discrete-event system simulator for the ztm workspace.
+//!
+//! [`System`] assembles the full machine of the paper: per CPU an
+//! architectural core ([`ztm_isa::CpuCore`]), a private L1/L2 cache unit with
+//! transactional footprint tracking ([`ztm_cache::PrivateCache`]) and a
+//! transaction engine ([`ztm_core::TxEngine`]); globally the committed
+//! memory image, the page table, and the coherence fabric issuing
+//! cross-interrogates between CPUs.
+//!
+//! Simulation is single-threaded and deterministic (seeded RNG streams per
+//! CPU): the scheduler always steps the runnable CPU with the smallest local
+//! clock, and XIs are delivered synchronously at instruction boundaries —
+//! the paper's "stall completion while XIs are pending" rule (§III.C).
+//! Determinism makes every contention experiment exactly reproducible.
+//!
+//! The simulator also implements the millicode *broadcast-stop* quiesce
+//! (§III.E): when a struggling constrained transaction escalates to the last
+//! rung of the retry ladder, all other CPUs are held while it retries, which
+//! guarantees eventual success.
+
+mod config;
+mod report;
+mod system;
+
+pub use config::SystemConfig;
+pub use report::SystemReport;
+pub use system::{System, TraceRecord};

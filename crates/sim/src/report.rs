@@ -1,0 +1,40 @@
+//! Aggregated system statistics.
+
+use ztm_core::TxStats;
+
+/// A snapshot of system-wide counters, produced by
+/// [`crate::System::report`].
+#[derive(Debug, Clone, Default)]
+pub struct SystemReport {
+    /// Maximum per-CPU clock — the elapsed virtual time of the run.
+    pub elapsed_cycles: u64,
+    /// Instructions completed across all CPUs.
+    pub total_instructions: u64,
+    /// Simulator steps taken (instructions + stalls + aborts).
+    pub steps: u64,
+    /// XI-stall retries across all CPUs (stiff-arming at work, §III.C).
+    pub stalls: u64,
+    /// Merged transactional statistics.
+    pub tx: TxStats,
+    /// XIs sent, by kind: `[exclusive, demote, read-only, lru]`.
+    pub xi_counts: [u64; 4],
+}
+
+impl SystemReport {
+    /// System-wide abort rate (see [`TxStats::abort_rate`]).
+    pub fn abort_rate(&self) -> f64 {
+        self.tx.abort_rate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_zeroed() {
+        let r = SystemReport::default();
+        assert_eq!(r.elapsed_cycles, 0);
+        assert_eq!(r.abort_rate(), 0.0);
+    }
+}

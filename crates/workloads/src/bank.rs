@@ -1,0 +1,207 @@
+//! A bank-transfer workload: the classic transactional-memory consistency
+//! benchmark, used here to stress multi-line atomicity with an invariant
+//! that any isolation bug destroys immediately.
+//!
+//! Each operation moves a random amount between two random accounts. The
+//! global invariant — the sum of all balances never changes — holds only if
+//! every debit+credit pair is atomic and isolated.
+
+use crate::harness::{convention, WorkloadReport};
+use ztm_core::{GrSaveMask, TbeginParams};
+use ztm_isa::{gr::*, Assembler, MemOperand, Program, RegOrImm};
+use ztm_mem::Address;
+use ztm_sim::System;
+
+/// Synchronization of the transfers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BankMethod {
+    /// One global lock around every transfer.
+    Lock,
+    /// Each transfer is one constrained transaction (2 accounts = 2
+    /// octowords, well within the §II.D budget).
+    Tbeginc,
+    /// Figure 1 TBEGIN with retry threshold and the global lock as
+    /// fallback.
+    Tbegin,
+}
+
+/// The bank: `accounts` balances, each on its own cache line.
+#[derive(Debug, Clone)]
+pub struct Bank {
+    /// Number of accounts.
+    pub accounts: u64,
+    method: BankMethod,
+    base: u64,
+    lock: u64,
+}
+
+impl Bank {
+    /// Creates a bank description.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `accounts` is zero.
+    pub fn new(accounts: u64, method: BankMethod) -> Self {
+        assert!(accounts > 0);
+        Bank {
+            accounts,
+            method,
+            base: 0x5000_0000,
+            lock: 0x5000_0000 - 256,
+        }
+    }
+
+    /// Deposits `initial` into every account host-side.
+    pub fn open(&self, sys: &mut System, initial: u64) {
+        for i in 0..self.accounts {
+            sys.mem_mut()
+                .store_u64(Address::new(self.base + i * 256), initial);
+        }
+    }
+
+    /// Sum of all balances.
+    pub fn total(&self, sys: &System) -> u64 {
+        (0..self.accounts)
+            .map(|i| sys.mem().load_u64(Address::new(self.base + i * 256)))
+            .sum()
+    }
+
+    /// Emits one transfer: R8 → debit account address, R9 → credit account
+    /// address, R10 → amount.
+    fn emit_transfer(&self, a: &mut Assembler) {
+        a.lg(R2, MemOperand::based(R8, 0));
+        a.sgr(R2, R10);
+        a.stg(R2, MemOperand::based(R8, 0));
+        a.lg(R2, MemOperand::based(R9, 0));
+        a.agr(R2, R10);
+        a.stg(R2, MemOperand::based(R9, 0));
+    }
+
+    fn emit_locked(&self, a: &mut Assembler, p: &str) {
+        a.label(&format!("{p}_acq"));
+        a.ltg(R1, MemOperand::absolute(self.lock));
+        a.jz(&format!("{p}_try"));
+        a.delay(24);
+        a.j(&format!("{p}_acq"));
+        a.label(&format!("{p}_try"));
+        a.lghi(R2, 0);
+        a.lghi(R3, 1);
+        a.csg(R2, R3, MemOperand::absolute(self.lock));
+        a.jnz(&format!("{p}_acq"));
+        self.emit_transfer(a);
+        a.lghi(R2, 0);
+        a.stg(R2, MemOperand::absolute(self.lock));
+    }
+
+    /// Builds the transfer program.
+    pub fn program(&self, ops_per_cpu: u64) -> Program {
+        let mut a = Assembler::new(0);
+        a.lghi(convention::OPS_LEFT, ops_per_cpu as i64);
+        a.lghi(convention::OP_CYCLES, 0);
+        a.lghi(convention::OPS_DONE, 0);
+        a.label("op_loop");
+        a.rand_mod(R8, RegOrImm::Imm(self.accounts));
+        a.rand_mod(R9, RegOrImm::Imm(self.accounts));
+        a.rand_mod(R10, RegOrImm::Imm(100)); // amount
+        a.sllg(R8, R8, 8);
+        a.aghi(R8, self.base as i64);
+        a.sllg(R9, R9, 8);
+        a.aghi(R9, self.base as i64);
+        a.rdclk(convention::T_START);
+        match self.method {
+            BankMethod::Lock => self.emit_locked(&mut a, "bk"),
+            BankMethod::Tbeginc => {
+                a.tbeginc(GrSaveMask::ALL);
+                self.emit_transfer(&mut a);
+                a.tend();
+            }
+            BankMethod::Tbegin => {
+                a.lghi(R0, 0);
+                a.label("tx_retry");
+                a.tbegin(TbeginParams::new());
+                a.jnz("tx_abort");
+                a.ltg(R1, MemOperand::absolute(self.lock));
+                a.jnz("tx_busy");
+                self.emit_transfer(&mut a);
+                a.tend();
+                a.j("section_done");
+                a.label("tx_busy");
+                a.tabort(256);
+                a.label("tx_abort");
+                a.jo("fallback");
+                a.aghi(R0, 1);
+                a.cgij_ge(R0, 6, "fallback");
+                a.ppa(R0);
+                a.label("tx_wait");
+                a.ltg(R1, MemOperand::absolute(self.lock));
+                a.jz("tx_retry");
+                a.delay(24);
+                a.j("tx_wait");
+                a.label("fallback");
+                self.emit_locked(&mut a, "fb");
+                a.label("section_done");
+            }
+        }
+        a.rdclk(convention::T_END);
+        a.sgr(convention::T_END, convention::T_START);
+        a.agr(convention::OP_CYCLES, convention::T_END);
+        a.aghi(convention::OPS_DONE, 1);
+        a.brctg(convention::OPS_LEFT, "op_loop");
+        a.halt();
+        a.assemble().expect("bank workload assembles")
+    }
+
+    /// Runs the workload on every CPU.
+    pub fn run(&self, sys: &mut System, ops_per_cpu: u64) -> WorkloadReport {
+        let prog = self.program(ops_per_cpu);
+        sys.load_program_all(&prog);
+        sys.run_until_halt(2_000_000_000);
+        WorkloadReport::collect(sys)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ztm_sim::SystemConfig;
+
+    fn conserved(method: BankMethod, cpus: usize, seed: u64) {
+        let bank = Bank::new(16, method);
+        let mut sys = System::new(SystemConfig::with_cpus(cpus).seed(seed));
+        bank.open(&mut sys, 1_000);
+        let rep = bank.run(&mut sys, 40);
+        assert_eq!(rep.committed_ops(), cpus as u64 * 40);
+        assert_eq!(
+            bank.total(&sys),
+            16 * 1_000,
+            "money conservation ({method:?}, {cpus} CPUs, seed {seed})"
+        );
+    }
+
+    #[test]
+    fn money_is_conserved_under_locks() {
+        conserved(BankMethod::Lock, 4, 1);
+    }
+
+    #[test]
+    fn money_is_conserved_under_constrained_tx() {
+        conserved(BankMethod::Tbeginc, 6, 2);
+        conserved(BankMethod::Tbeginc, 6, 3);
+    }
+
+    #[test]
+    fn money_is_conserved_under_tbegin_with_fallback() {
+        conserved(BankMethod::Tbegin, 6, 4);
+    }
+
+    #[test]
+    fn self_transfers_are_harmless() {
+        // R8 == R9 happens with probability 1/16 per op; debit+credit of
+        // the same account must net to zero.
+        let bank = Bank::new(1, BankMethod::Tbeginc);
+        let mut sys = System::new(SystemConfig::with_cpus(2).seed(5));
+        bank.open(&mut sys, 500);
+        bank.run(&mut sys, 30);
+        assert_eq!(bank.total(&sys), 500);
+    }
+}

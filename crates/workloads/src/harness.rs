@@ -1,0 +1,145 @@
+//! Measurement conventions shared by all workloads.
+//!
+//! Every workload program follows the paper's §IV methodology:
+//!
+//! * the time of each operation is measured "between each lock/tbegin and
+//!   unlock/tend" with the clock (our `RDCLK` stands in for Store Clock
+//!   Fast), accumulated in **R14**;
+//! * completed operations are counted in **R15**;
+//! * random-number generation is excluded from the measurement (the `RAND`
+//!   pseudo-instruction costs zero cycles and executes before the timed
+//!   section);
+//! * throughput is `CPUs / average-time-per-update`, normalized to 100 for
+//!   a reference run (2 CPUs updating a single variable from a pool of 1).
+
+use ztm_sim::{System, SystemReport};
+
+/// Register conventions of the workload programs.
+pub mod convention {
+    use ztm_isa::gr::*;
+    use ztm_isa::Reg;
+
+    /// Loop counter: operations remaining.
+    pub const OPS_LEFT: Reg = R6;
+    /// Accumulated in-section cycles.
+    pub const OP_CYCLES: Reg = R14;
+    /// Completed operations.
+    pub const OPS_DONE: Reg = R15;
+    /// Timestamp scratch (start).
+    pub const T_START: Reg = R12;
+    /// Timestamp scratch (end).
+    pub const T_END: Reg = R13;
+}
+
+/// Per-CPU measurement extracted after a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CpuMeasurement {
+    /// Operations completed by this CPU.
+    pub ops: u64,
+    /// Cycles spent inside timed sections.
+    pub op_cycles: u64,
+}
+
+/// Results of one workload run.
+#[derive(Debug, Clone)]
+pub struct WorkloadReport {
+    /// Per-CPU measurements.
+    pub per_cpu: Vec<CpuMeasurement>,
+    /// System-wide counters (aborts, XIs, stalls).
+    pub system: SystemReport,
+}
+
+impl WorkloadReport {
+    /// Reads the measurement registers of every CPU after a run.
+    pub fn collect(sys: &System) -> Self {
+        let per_cpu = (0..sys.cpus())
+            .map(|i| CpuMeasurement {
+                ops: sys.core(i).gr(convention::OPS_DONE),
+                op_cycles: sys.core(i).gr(convention::OP_CYCLES),
+            })
+            .collect();
+        WorkloadReport {
+            per_cpu,
+            system: sys.report(),
+        }
+    }
+
+    /// Total committed operations.
+    pub fn committed_ops(&self) -> u64 {
+        self.per_cpu.iter().map(|c| c.ops).sum()
+    }
+
+    /// Average cycles per operation across CPUs (the paper's
+    /// "average time per update").
+    pub fn avg_op_cycles(&self) -> f64 {
+        let (ops, cyc) = self
+            .per_cpu
+            .iter()
+            .fold((0u64, 0u64), |(o, c), m| (o + m.ops, c + m.op_cycles));
+        if ops == 0 {
+            f64::INFINITY
+        } else {
+            cyc as f64 / ops as f64
+        }
+    }
+
+    /// The paper's throughput metric: `CPUs / average time per update`
+    /// (higher is better; unitless until normalized).
+    pub fn throughput(&self) -> f64 {
+        let avg = self.avg_op_cycles();
+        if avg.is_finite() && avg > 0.0 {
+            self.per_cpu.len() as f64 / avg
+        } else {
+            0.0
+        }
+    }
+
+    /// Throughput normalized so that `reference` becomes 100.
+    pub fn normalized_throughput(&self, reference: f64) -> f64 {
+        100.0 * self.throughput() / reference
+    }
+
+    /// System-wide abort rate.
+    pub fn abort_rate(&self) -> f64 {
+        self.system.abort_rate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(per_cpu: Vec<CpuMeasurement>) -> WorkloadReport {
+        WorkloadReport {
+            per_cpu,
+            system: SystemReport::default(),
+        }
+    }
+
+    #[test]
+    fn throughput_math() {
+        let r = report(vec![
+            CpuMeasurement {
+                ops: 10,
+                op_cycles: 1000,
+            },
+            CpuMeasurement {
+                ops: 10,
+                op_cycles: 3000,
+            },
+        ]);
+        assert!((r.avg_op_cycles() - 200.0).abs() < 1e-9);
+        assert!((r.throughput() - 2.0 / 200.0).abs() < 1e-12);
+        assert!((r.normalized_throughput(2.0 / 200.0) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_run_has_zero_throughput() {
+        let r = report(vec![CpuMeasurement {
+            ops: 0,
+            op_cycles: 0,
+        }]);
+        assert_eq!(r.throughput(), 0.0);
+        assert_eq!(r.committed_ops(), 0);
+    }
+}

@@ -1,0 +1,304 @@
+//! The lock-elided hashtable of Fig 5(e).
+//!
+//! Models the IBM Testarossa JIT experiment: a `java/util/Hashtable`-style
+//! chained hashtable whose single global lock ("synchronized") is elided
+//! with transactions. Under the global lock, throughput is flat no matter
+//! how many threads run; with elision it scales almost linearly (§IV).
+
+use crate::harness::{convention, WorkloadReport};
+use ztm_core::TbeginParams;
+use ztm_isa::{gr::*, Assembler, MemOperand, Program, RegOrImm};
+use ztm_mem::Address;
+use ztm_sim::System;
+
+/// Synchronization of the hashtable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TableMethod {
+    /// One global lock around every operation (`synchronized`).
+    GlobalLock,
+    /// Figure 1 lock elision: transactions that test the global lock, with
+    /// the lock as fallback.
+    Elision,
+}
+
+/// A chained hashtable in simulated memory, operated on by generated
+/// programs.
+///
+/// Layout: `buckets` head pointers (8 bytes each, packed 32 per cache
+/// line) at `table_base`; nodes are 32-byte aligned records
+/// `{key, value, next}`; each CPU allocates from its own arena with a bump
+/// pointer in **R7** (transaction rollback automatically un-allocates, since
+/// R7 is restored on abort).
+#[derive(Debug, Clone)]
+pub struct HashTable {
+    /// Number of buckets (power of two).
+    pub buckets: u64,
+    /// Key space for random keys.
+    pub key_space: u64,
+    /// Percent of operations that are puts (rest are gets).
+    pub put_percent: u64,
+    method: TableMethod,
+    table_base: u64,
+    lock: u64,
+    arena_base: u64,
+    arena_size: u64,
+}
+
+impl HashTable {
+    /// Creates a table description.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buckets` is not a power of two.
+    pub fn new(buckets: u64, key_space: u64, put_percent: u64, method: TableMethod) -> Self {
+        assert!(buckets.is_power_of_two(), "buckets must be a power of two");
+        HashTable {
+            buckets,
+            key_space,
+            put_percent,
+            method,
+            table_base: 0x1000_0000,
+            lock: 0x0FFF_0000,
+            arena_base: 0x2000_0000,
+            arena_size: 0x10_0000,
+        }
+    }
+
+    fn bucket_addr(&self, b: u64) -> u64 {
+        self.table_base + b * 8
+    }
+
+    /// Pre-populates the table host-side with `keys.len()` entries (key →
+    /// key*10), using a dedicated init arena.
+    pub fn populate(&self, sys: &mut System, keys: &[u64]) {
+        let mut node = self.arena_base - self.arena_size; // init arena below CPU 0's
+        for &key in keys {
+            let b = key & (self.buckets - 1);
+            let head_addr = Address::new(self.bucket_addr(b));
+            let old_head = sys.mem().load_u64(head_addr);
+            let mem = sys.mem_mut();
+            mem.store_u64(Address::new(node), key);
+            mem.store_u64(Address::new(node + 8), key * 10);
+            mem.store_u64(Address::new(node + 16), old_head);
+            mem.store_u64(head_addr, node);
+            node += 32;
+        }
+    }
+
+    /// Host-side lookup (for verification).
+    pub fn lookup(&self, sys: &System, key: u64) -> Option<u64> {
+        let b = key & (self.buckets - 1);
+        let mut node = sys.mem().load_u64(Address::new(self.bucket_addr(b)));
+        while node != 0 {
+            if sys.mem().load_u64(Address::new(node)) == key {
+                return Some(sys.mem().load_u64(Address::new(node + 8)));
+            }
+            node = sys.mem().load_u64(Address::new(node + 16));
+        }
+        None
+    }
+
+    /// Total entries reachable from the buckets (host-side).
+    pub fn len(&self, sys: &System) -> u64 {
+        let mut n = 0;
+        for b in 0..self.buckets {
+            let mut node = sys.mem().load_u64(Address::new(self.bucket_addr(b)));
+            while node != 0 {
+                n += 1;
+                node = sys.mem().load_u64(Address::new(node + 16));
+            }
+        }
+        n
+    }
+
+    /// Whether the table has no entries.
+    pub fn is_empty(&self, sys: &System) -> bool {
+        self.len(sys) == 0
+    }
+
+    /// Emits the hashtable operation (get or put based on R9) with a unique
+    /// label `p`refix. Expects the key in R8, the put-value in R9's low
+    /// bits reused, and the per-CPU bump pointer in R7.
+    fn emit_op(&self, a: &mut Assembler, p: &str) {
+        // R5 = &bucket_head
+        a.lgr(R5, R8);
+        a.lghi(R4, (self.buckets - 1) as i64);
+        a.ngr(R5, R4);
+        a.sllg(R5, R5, 3);
+        a.aghi(R5, self.table_base as i64);
+        a.lg(R3, MemOperand::based(R5, 0)); // head
+        a.label(&format!("{p}_walk"));
+        a.cghi(R3, 0);
+        a.jz(&format!("{p}_miss"));
+        a.lg(R2, MemOperand::based(R3, 0)); // node.key
+        a.cgr(R2, R8);
+        a.jz(&format!("{p}_hit"));
+        a.lg(R3, MemOperand::based(R3, 16)); // next
+        a.j(&format!("{p}_walk"));
+        a.label(&format!("{p}_hit"));
+        // Put updates in place; get loads the value.
+        a.cghi(R9, 0);
+        a.jnz(&format!("{p}_hit_put"));
+        a.lg(R2, MemOperand::based(R3, 8));
+        a.j(&format!("{p}_done"));
+        a.label(&format!("{p}_hit_put"));
+        a.stg(R8, MemOperand::based(R3, 8)); // value := key (arbitrary)
+        a.j(&format!("{p}_done"));
+        a.label(&format!("{p}_miss"));
+        a.cghi(R9, 0);
+        a.jz(&format!("{p}_done")); // get miss: nothing to do
+                                    // Put miss: allocate node from the bump arena and link at head.
+        a.stg(R8, MemOperand::based(R7, 0)); // key
+        a.stg(R8, MemOperand::based(R7, 8)); // value
+        a.lg(R2, MemOperand::based(R5, 0)); // old head
+        a.stg(R2, MemOperand::based(R7, 16)); // next
+        a.stg(R7, MemOperand::based(R5, 0)); // head = node
+        a.aghi(R7, 32);
+        a.label(&format!("{p}_done"));
+    }
+
+    fn emit_locked(&self, a: &mut Assembler, p: &str) {
+        a.label(&format!("{p}_acq"));
+        a.ltg(R1, MemOperand::absolute(self.lock));
+        a.jz(&format!("{p}_try"));
+        a.delay(24);
+        a.j(&format!("{p}_acq"));
+        a.label(&format!("{p}_try"));
+        a.lghi(R2, 0);
+        a.lghi(R3, 1);
+        a.csg(R2, R3, MemOperand::absolute(self.lock));
+        a.jnz(&format!("{p}_acq"));
+        self.emit_op(a, &format!("{p}_op"));
+        a.lghi(R2, 0);
+        a.stg(R2, MemOperand::absolute(self.lock));
+    }
+
+    /// Builds the benchmark program.
+    pub fn program(&self, ops_per_cpu: u64) -> Program {
+        let mut a = Assembler::new(0);
+        a.lghi(convention::OPS_LEFT, ops_per_cpu as i64);
+        a.lghi(convention::OP_CYCLES, 0);
+        a.lghi(convention::OPS_DONE, 0);
+        a.label("op_loop");
+        a.rand_mod(R8, RegOrImm::Imm(self.key_space)); // key
+        a.rand_mod(R9, RegOrImm::Imm(100)); // op selector
+        a.cgij_lt(R9, self.put_percent as i64, "is_put");
+        a.lghi(R9, 0); // get
+        a.j("selected");
+        a.label("is_put");
+        a.lghi(R9, 1);
+        a.label("selected");
+        a.rdclk(convention::T_START);
+        match self.method {
+            TableMethod::GlobalLock => self.emit_locked(&mut a, "gl"),
+            TableMethod::Elision => {
+                a.lghi(R0, 0);
+                a.label("tx_retry");
+                a.tbegin(TbeginParams::new());
+                a.jnz("tx_abort");
+                a.ltg(R1, MemOperand::absolute(self.lock));
+                a.jnz("tx_busy");
+                self.emit_op(&mut a, "tx_op");
+                a.tend();
+                a.j("section_done");
+                a.label("tx_busy");
+                a.tabort(256);
+                a.label("tx_abort");
+                a.jo("fallback");
+                a.aghi(R0, 1);
+                a.cgij_ge(R0, 6, "fallback");
+                a.ppa(R0);
+                // Wait for the elided lock to clear before retrying (Fig 1).
+                a.label("tx_waitlock");
+                a.ltg(R1, MemOperand::absolute(self.lock));
+                a.jz("tx_retry");
+                a.delay(24);
+                a.j("tx_waitlock");
+                a.label("fallback");
+                self.emit_locked(&mut a, "fb");
+                a.label("section_done");
+            }
+        }
+        a.rdclk(convention::T_END);
+        a.sgr(convention::T_END, convention::T_START);
+        a.agr(convention::OP_CYCLES, convention::T_END);
+        a.aghi(convention::OPS_DONE, 1);
+        a.brctg(convention::OPS_LEFT, "op_loop");
+        a.halt();
+        a.assemble().expect("hashtable workload assembles")
+    }
+
+    /// Loads programs, seeds the per-CPU arenas (bump pointer in R7), runs,
+    /// and collects measurements.
+    pub fn run(&self, sys: &mut System, ops_per_cpu: u64) -> WorkloadReport {
+        let prog = self.program(ops_per_cpu);
+        sys.load_program_all(&prog);
+        for i in 0..sys.cpus() {
+            let arena = self.arena_base + i as u64 * self.arena_size;
+            sys.core_mut(i).set_gr(R7, arena);
+        }
+        sys.run_until_halt(2_000_000_000);
+        WorkloadReport::collect(sys)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ztm_sim::SystemConfig;
+
+    fn table(method: TableMethod) -> HashTable {
+        HashTable::new(256, 1024, 20, method)
+    }
+
+    #[test]
+    fn populate_and_host_lookup() {
+        let t = table(TableMethod::GlobalLock);
+        let mut sys = System::new(SystemConfig::with_cpus(1));
+        t.populate(&mut sys, &[1, 2, 257]); // 1 and 257 collide (256 buckets)
+        assert_eq!(t.lookup(&sys, 1), Some(10));
+        assert_eq!(t.lookup(&sys, 257), Some(2570));
+        assert_eq!(t.lookup(&sys, 3), None);
+        assert_eq!(t.len(&sys), 3);
+        assert!(!t.is_empty(&sys));
+    }
+
+    #[test]
+    fn locked_table_stays_consistent() {
+        let t = table(TableMethod::GlobalLock);
+        let mut sys = System::new(SystemConfig::with_cpus(4));
+        t.populate(&mut sys, &(0..128).collect::<Vec<_>>());
+        let rep = t.run(&mut sys, 40);
+        assert_eq!(rep.committed_ops(), 160);
+        // Every key reachable exactly once: walk finds no duplicates.
+        let len = t.len(&sys);
+        assert!(len >= 128, "puts only add");
+        assert!(len <= 128 + 160);
+    }
+
+    #[test]
+    fn elided_table_stays_consistent() {
+        let t = table(TableMethod::Elision);
+        let mut sys = System::new(SystemConfig::with_cpus(4));
+        t.populate(&mut sys, &(0..128).collect::<Vec<_>>());
+        let rep = t.run(&mut sys, 40);
+        assert_eq!(rep.committed_ops(), 160);
+        let len = t.len(&sys);
+        assert!((128..=128 + 160).contains(&len));
+        assert!(rep.system.tx.commits > 0, "most ops elide the lock");
+        // No duplicate keys: a put that saw a concurrent insert must have
+        // been serialized by the transaction.
+        for key in 0..64 {
+            let b = key & (t.buckets - 1);
+            let mut node = sys.mem().load_u64(Address::new(t.bucket_addr(b)));
+            let mut seen = 0;
+            while node != 0 {
+                if sys.mem().load_u64(Address::new(node)) == key {
+                    seen += 1;
+                }
+                node = sys.mem().load_u64(Address::new(node + 16));
+            }
+            assert!(seen <= 1, "key {key} inserted {seen} times");
+        }
+    }
+}

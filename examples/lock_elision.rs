@@ -1,0 +1,42 @@
+//! Lock elision on a shared hashtable (the Fig 5(e) experiment, §IV).
+//!
+//! Runs the same hashtable workload twice — under a global lock and with the
+//! lock elided by transactions — and compares throughput, demonstrating the
+//! paper's headline software use case: existing lock-based code speeds up
+//! without a redesign.
+//!
+//! ```sh
+//! cargo run --release --example lock_elision
+//! ```
+
+use ztm::sim::{System, SystemConfig};
+use ztm::workloads::hashtable::{HashTable, TableMethod};
+
+fn run(method: TableMethod, threads: usize) -> (f64, u64, u64) {
+    let table = HashTable::new(512, 2048, 20, method);
+    let mut sys = System::new(SystemConfig::with_cpus(threads));
+    table.populate(&mut sys, &(0..1024).collect::<Vec<_>>());
+    let rep = table.run(&mut sys, 300);
+    (
+        rep.throughput(),
+        rep.system.tx.commits,
+        rep.system.tx.aborts,
+    )
+}
+
+fn main() {
+    println!("Lock-elided hashtable: 512 buckets, 20% puts, 6 threads");
+    println!();
+    let threads = 6;
+    let (lock_thpt, _, _) = run(TableMethod::GlobalLock, threads);
+    let (tx_thpt, commits, aborts) = run(TableMethod::Elision, threads);
+    println!("global lock : throughput {lock_thpt:.6} ops/cycle");
+    println!("lock elision: throughput {tx_thpt:.6} ops/cycle");
+    println!("              {commits} transactions committed, {aborts} aborted");
+    println!();
+    println!(
+        "speedup from elision: {:.2}x (the paper reports near-linear scaling\n\
+         for the elided java/util/Hashtable while locks stay flat)",
+        tx_thpt / lock_thpt
+    );
+}

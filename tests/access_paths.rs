@@ -1,0 +1,153 @@
+//! Edge cases of the memory access paths on the full system: granule- and
+//! line-boundary stores, alignment rules, and the store-forwarding paths.
+
+use ztm::core::TbeginParams;
+use ztm::isa::{gr::*, Assembler, CpuState, HaltReason, MemOperand};
+use ztm::mem::Address;
+use ztm::sim::{System, SystemConfig};
+
+fn run_one(a: &Assembler) -> System {
+    let p = a.assemble().unwrap();
+    let mut sys = System::new(SystemConfig::with_cpus(1));
+    sys.load_program(0, &p);
+    sys.run_until_halt(1_000_000);
+    sys
+}
+
+#[test]
+fn store_straddling_a_half_line_commits_both_granules() {
+    // A store at offset 124 covers bytes 124..132 — two 128-byte store-cache
+    // granules. Both halves must commit.
+    let base = 0x10_0000u64;
+    let mut a = Assembler::new(0);
+    a.tbegin(TbeginParams::new());
+    a.jnz("out");
+    a.lghi(R1, -1); // 0xFFFF_FFFF_FFFF_FFFF
+    a.stg(R1, MemOperand::absolute(base + 124));
+    a.tend();
+    a.label("out");
+    a.halt();
+    let sys = run_one(&a);
+    assert_eq!(sys.mem().load_u64(Address::new(base + 124)), u64::MAX);
+    // Bytes on either side untouched.
+    assert_eq!(sys.mem().load_u64(Address::new(base + 116)), 0);
+    assert_eq!(sys.mem().load_u64(Address::new(base + 132)), 0);
+}
+
+#[test]
+fn store_straddling_a_half_line_rolls_back_both_granules() {
+    let base = 0x11_0000u64;
+    let mut a = Assembler::new(0);
+    a.tbegin(TbeginParams::new());
+    a.jnz("out");
+    a.lghi(R1, -1);
+    a.stg(R1, MemOperand::absolute(base + 124));
+    a.tabort(256);
+    a.label("out");
+    a.halt();
+    let sys = run_one(&a);
+    assert_eq!(sys.mem().load_u64(Address::new(base + 124)), 0);
+}
+
+#[test]
+fn line_crossing_access_is_a_specification_exception() {
+    // The simulated ISA rejects operands that cross a 256-byte line
+    // (documented simplification); the OS terminates the program.
+    let mut a = Assembler::new(0);
+    a.lghi(R1, 1);
+    a.stg(R1, MemOperand::absolute(0x10_0000 + 252));
+    a.halt();
+    let sys = run_one(&a);
+    match &sys.core(0).state {
+        CpuState::Halted(HaltReason::Terminated(msg)) => {
+            assert!(msg.contains("specification"), "{msg}");
+        }
+        other => panic!("expected termination, got {other:?}"),
+    }
+}
+
+#[test]
+fn unaligned_ntstg_is_a_specification_exception() {
+    let mut a = Assembler::new(0);
+    a.tbegin(TbeginParams::new());
+    a.jnz("out");
+    a.lghi(R1, 1);
+    a.ntstg(R1, MemOperand::absolute(0x10_0004)); // not doubleword aligned
+    a.tend();
+    a.label("out");
+    a.halt();
+    let sys = run_one(&a);
+    assert!(matches!(
+        sys.core(0).state,
+        CpuState::Halted(HaltReason::Terminated(_))
+    ));
+}
+
+#[test]
+fn store_forwarding_sees_partial_overlaps() {
+    // Store 8 bytes, then load 8 bytes overlapping only half of them: the
+    // load must merge forwarded bytes with committed memory.
+    let base = 0x12_0000u64;
+    let mut a = Assembler::new(0);
+    a.tbegin(TbeginParams::new());
+    a.jnz("out");
+    a.lghi(R1, 0x1111);
+    a.stg(R1, MemOperand::absolute(base)); // bytes 0..8 = 00..00 11 11
+    a.lg(R2, MemOperand::absolute(base + 4)); // bytes 4..12
+    a.stg(R2, MemOperand::absolute(base + 64)); // witness
+    a.tend();
+    a.label("out");
+    a.halt();
+    let sys = run_one(&a);
+    // bytes 4..8 = 00 00 11 11 (from the store), bytes 8..12 = 0.
+    assert_eq!(
+        sys.mem().load_u64(Address::new(base + 64)),
+        0x0000_1111_0000_0000
+    );
+}
+
+#[test]
+fn indexed_addressing_computes_base_plus_index_plus_disp() {
+    let mut a = Assembler::new(0);
+    a.lghi(R5, 0x10_0000);
+    a.lghi(R6, 0x100);
+    a.lghi(R1, 42);
+    a.stg(R1, MemOperand::indexed(R5, R6, 8));
+    a.halt();
+    let sys = run_one(&a);
+    assert_eq!(sys.mem().load_u64(Address::new(0x10_0108)), 42);
+}
+
+#[test]
+fn la_loads_effective_address_without_touching_memory() {
+    let mut a = Assembler::new(0);
+    a.lghi(R5, 0x20_0000);
+    a.la(R2, MemOperand::based(R5, 24));
+    a.halt();
+    let sys = run_one(&a);
+    assert_eq!(sys.core(0).gr(R2), 0x20_0018);
+    assert_eq!(sys.mem().resident_lines(), 0, "LA performs no access");
+}
+
+#[test]
+fn csg_retries_observe_intervening_stores() {
+    // Two CPUs CAS-incrementing the same word via the CSG retry idiom:
+    // every increment must land exactly once.
+    let word = 0x30_0000u64;
+    let mut a = Assembler::new(0);
+    a.lghi(R6, 100);
+    a.label("loop");
+    a.lg(R2, MemOperand::absolute(word));
+    a.label("cas");
+    a.lgr(R3, R2);
+    a.aghi(R3, 1);
+    a.csg(R2, R3, MemOperand::absolute(word));
+    a.jnz("cas"); // CSG reloaded R2 on failure
+    a.brctg(R6, "loop");
+    a.halt();
+    let p = a.assemble().unwrap();
+    let mut sys = System::new(SystemConfig::with_cpus(4));
+    sys.load_program_all(&p);
+    sys.run_until_halt(10_000_000);
+    assert_eq!(sys.mem().load_u64(Address::new(word)), 400);
+}

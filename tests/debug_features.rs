@@ -1,0 +1,192 @@
+//! The RAS/debug features of §II.E on the full system: diagnostic-control
+//! forced aborts, PER suppression and the TEND event, and the prefix-area
+//! TDB copy.
+
+use ztm::core::{DiagnosticControl, ProgramException, TbeginParams, Tdb};
+use ztm::isa::{gr::*, Assembler, MemOperand};
+use ztm::mem::Address;
+use ztm::sim::{System, SystemConfig};
+use ztm::workloads::pool::{PoolLayout, PoolWorkload, SyncMethod};
+
+#[test]
+fn tdc_always_abort_forces_the_fallback_path_and_stays_correct() {
+    // §II.E.3: the aggressive setting aborts every transaction before the
+    // outermost TEND, stressing the retry threshold and the fallback path.
+    // Correctness must be preserved — every op completes via the lock.
+    let mut cfg = SystemConfig::with_cpus(3);
+    cfg.engine.diagnostic = DiagnosticControl::AlwaysAbort { max_point: 50 };
+    let mut sys = System::new(cfg);
+    let wl = PoolWorkload::new(PoolLayout::new(8, 1), SyncMethod::Tbegin, 0);
+    let rep = wl.run(&mut sys, 25);
+    assert_eq!(rep.committed_ops(), 75);
+    assert_eq!(wl.pool_sum(&sys), 75);
+    assert_eq!(rep.system.tx.commits, 0, "no transaction may commit");
+    assert!(
+        rep.system.tx.aborts >= 75 * 6,
+        "six retries per op, all forced"
+    );
+}
+
+#[test]
+fn tdc_random_aborts_keep_workloads_correct() {
+    // The lighter setting aborts often at random points; transactions still
+    // commit sometimes, and the mix of tx and fallback completions must be
+    // exactly correct.
+    let mut cfg = SystemConfig::with_cpus(4);
+    cfg.engine.diagnostic = DiagnosticControl::Random { denominator: 8 };
+    let mut sys = System::new(cfg);
+    let wl = PoolWorkload::new(PoolLayout::new(16, 1), SyncMethod::Tbegin, 1);
+    let rep = wl.run(&mut sys, 30);
+    assert_eq!(wl.pool_sum(&sys), 120);
+    assert!(rep.system.tx.aborts > 0);
+    assert!(
+        rep.system.tx.aborts_by_code.contains_key(&255),
+        "diagnostic aborts use code 255: {:?}",
+        rep.system.tx.aborts_by_code
+    );
+}
+
+#[test]
+fn tdc_aggressive_setting_spares_constrained_transactions() {
+    // §II.E.3: "the latter setting is treated like the less aggressive
+    // setting for constrained transactions" — they must still complete.
+    let mut cfg = SystemConfig::with_cpus(2);
+    cfg.engine.diagnostic = DiagnosticControl::AlwaysAbort { max_point: 50 };
+    let mut sys = System::new(cfg);
+    let wl = PoolWorkload::new(PoolLayout::new(8, 1), SyncMethod::Tbeginc, 2);
+    let rep = wl.run(&mut sys, 20);
+    assert_eq!(wl.pool_sum(&sys), 40);
+    assert!(
+        rep.system.tx.commits >= 40,
+        "constrained transactions commit"
+    );
+}
+
+#[test]
+fn per_event_suppression_lets_transactions_complete_under_single_step() {
+    // §II.E.2: a debugger single-stepping (ifetch PER over everything)
+    // would abort every transaction at its first instruction; suppression
+    // makes the whole transaction one "big instruction".
+    let var = 0xA_0000u64;
+    let mut a = Assembler::new(0);
+    a.lghi(R6, 5);
+    a.label("loop");
+    a.tbeginc(ztm::core::GrSaveMask::ALL);
+    a.lg(R2, MemOperand::absolute(var));
+    a.aghi(R2, 1);
+    a.stg(R2, MemOperand::absolute(var));
+    a.tend();
+    a.brctg(R6, "loop");
+    a.halt();
+    let p = a.assemble().unwrap();
+
+    let mut sys = System::new(SystemConfig::with_cpus(1));
+    sys.load_program(0, &p);
+    sys.core_mut(0).per.enabled = true;
+    sys.core_mut(0).per.event_suppression = true;
+    sys.core_mut(0).per.ifetch_range = Some((0, u64::MAX));
+    sys.run_until_halt(1_000_000);
+    assert_eq!(sys.mem().load_u64(Address::new(var)), 5);
+    assert_eq!(sys.tx_stats(0).commits, 5);
+    // Events still fire outside transactions.
+    assert!(sys.core(0).per_events > 0);
+}
+
+#[test]
+fn per_tend_event_enables_transaction_granular_watchpoints() {
+    // §II.E.2: with suppression + the TEND event, a debugger checks its
+    // watch-points once per transaction instead of aborting them.
+    let var = 0xB_0000u64;
+    let mut a = Assembler::new(0);
+    a.lghi(R6, 7);
+    a.label("loop");
+    a.tbeginc(ztm::core::GrSaveMask::ALL);
+    a.lg(R2, MemOperand::absolute(var));
+    a.aghi(R2, 1);
+    a.stg(R2, MemOperand::absolute(var));
+    a.tend();
+    a.brctg(R6, "loop");
+    a.halt();
+    let p = a.assemble().unwrap();
+
+    let mut sys = System::new(SystemConfig::with_cpus(1));
+    sys.load_program(0, &p);
+    sys.core_mut(0).per.enabled = true;
+    sys.core_mut(0).per.event_suppression = true;
+    sys.core_mut(0).per.tend_event = true;
+    sys.core_mut(0).per.store_range = Some((var, var + 7)); // watch-point
+    sys.run_until_halt(1_000_000);
+    assert_eq!(sys.mem().load_u64(Address::new(var)), 7);
+    assert_eq!(
+        sys.core(0).per_events,
+        7,
+        "exactly one TEND event per committed transaction"
+    );
+}
+
+#[test]
+fn prefix_area_receives_tdb_copy_on_program_interruption_abort() {
+    // §II.E.1: on aborts caused by a program interruption, a second TDB
+    // copy lands in the CPU prefix area for post-mortem analysis.
+    let data = 0xC_0000u64;
+    let mut a = Assembler::new(0);
+    a.label("retry");
+    a.tbegin(TbeginParams::new()); // PIFC 0: fault presented to the OS
+    a.jnz("aborted");
+    a.lg(R1, MemOperand::absolute(data));
+    a.tend();
+    a.halt();
+    a.label("aborted");
+    a.j("retry");
+    let p = a.assemble().unwrap();
+
+    let mut sys = System::new(SystemConfig::with_cpus(1));
+    sys.pages_mut().evict(Address::new(data).page());
+    sys.load_program(0, &p);
+    sys.run_until_halt(1_000_000);
+    // CPU 0's prefix area (see System) holds the TDB copy.
+    let tdb = Tdb::load_from(sys.mem(), Address::new(0xFFFF_0000));
+    assert_eq!(tdb.abort_code(), 4, "unfiltered program interruption");
+    assert_eq!(
+        tdb.program_interruption_code(),
+        ProgramException::PageFault { address: data }.interruption_code()
+    );
+    assert_eq!(tdb.translation_address(), data);
+}
+
+#[test]
+fn watchpoint_store_event_aborts_transaction_without_suppression() {
+    // A store watch-point inside a transaction (no suppression): the store
+    // triggers a PER event, the transaction aborts, and the OS observes it.
+    let var = 0xD_0000u64;
+    let mut a = Assembler::new(0);
+    a.lghi(R7, 2); // two attempts, then give up
+    a.label("retry");
+    a.tbegin(TbeginParams::new());
+    a.jnz("aborted");
+    a.lghi(R1, 5);
+    a.stg(R1, MemOperand::absolute(var));
+    a.tend();
+    a.halt();
+    a.label("aborted");
+    a.brctg(R7, "retry");
+    a.halt();
+    let p = a.assemble().unwrap();
+
+    let mut sys = System::new(SystemConfig::with_cpus(1));
+    sys.load_program(0, &p);
+    sys.core_mut(0).per.enabled = true;
+    sys.core_mut(0).per.store_range = Some((var, var + 7));
+    sys.run_until_halt(1_000_000);
+    assert_eq!(
+        sys.tx_stats(0).commits,
+        0,
+        "every attempt hit the watch-point"
+    );
+    assert!(sys.core(0).per_events >= 2);
+    assert_eq!(
+        sys.mem().load_u64(Address::new(var)),
+        0,
+        "stores rolled back"
+    );
+}

@@ -1,0 +1,213 @@
+//! Cheap shape checks for every §IV experiment: the orderings and
+//! crossovers the paper reports must hold in reduced-size runs. The full
+//! sweeps live in the `ztm-bench` binaries; these tests guard the shapes
+//! against regressions.
+
+use ztm::cache::{AccessClass, CacheGeometry, CohState, FootprintEvent, PrivateCache};
+use ztm::mem::LineAddr;
+use ztm::sim::{System, SystemConfig};
+use ztm::workloads::hashtable::{HashTable, TableMethod};
+use ztm::workloads::pool::{PoolLayout, PoolWorkload, SyncMethod};
+use ztm::workloads::queue::{ConcurrentQueue, QueueMethod};
+use ztm::workloads::rwlock::{ReadMethod, ReadWorkload};
+
+fn pool_throughput(method: SyncMethod, cpus: usize, pool: u64, vars: usize) -> f64 {
+    let wl = PoolWorkload::new(PoolLayout::new(pool, vars), method, 42);
+    let mut sys = System::new(SystemConfig::with_cpus(cpus).seed(42));
+    wl.run(&mut sys, 60).throughput()
+}
+
+#[test]
+fn e1_uncontended_tx_beats_lock_and_variants_are_close() {
+    // §IV: transactions outperform locks by ~30% uncontended; constrained
+    // and non-constrained are comparable.
+    let lock = pool_throughput(SyncMethod::CoarseLock, 1, 1, 1);
+    let tbegin = pool_throughput(SyncMethod::Tbegin, 1, 1, 1);
+    let tbeginc = pool_throughput(SyncMethod::Tbeginc, 1, 1, 1);
+    assert!(tbegin > lock * 1.1, "TBEGIN {tbegin} vs lock {lock}");
+    assert!(tbeginc >= tbegin, "TBEGINC at least as fast uncontended");
+    assert!(tbeginc < tbegin * 1.6, "variants are comparable");
+}
+
+#[test]
+fn fig5a_transactions_scale_where_coarse_locks_do_not() {
+    let cpus = 12;
+    let lock = pool_throughput(SyncMethod::CoarseLock, cpus, 1000, 4);
+    let tbeginc = pool_throughput(SyncMethod::Tbeginc, cpus, 1000, 4);
+    let tbegin = pool_throughput(SyncMethod::Tbegin, cpus, 1000, 4);
+    assert!(tbeginc > 3.0 * lock, "TBEGINC {tbeginc} vs lock {lock}");
+    assert!(tbegin > 3.0 * lock, "TBEGIN {tbegin} vs lock {lock}");
+}
+
+#[test]
+fn fig5a_tbeginc_approaches_unsynchronized_on_large_pools() {
+    let cpus = 12;
+    let none = pool_throughput(SyncMethod::None, cpus, 1000, 4);
+    let tbeginc = pool_throughput(SyncMethod::Tbeginc, cpus, 1000, 4);
+    assert!(
+        tbeginc > 0.8 * none,
+        "TBEGINC {tbeginc} should be close to unsynchronized {none} (paper: 99.8%)"
+    );
+}
+
+#[test]
+fn fig5b_ordering_small_hot_pool() {
+    // Single variable, pool 10: TX > fine lock > coarse lock.
+    let cpus = 8;
+    let coarse = pool_throughput(SyncMethod::CoarseLock, cpus, 10, 1);
+    let fine = pool_throughput(SyncMethod::FineLock, cpus, 10, 1);
+    let tbeginc = pool_throughput(SyncMethod::Tbeginc, cpus, 10, 1);
+    let tbegin = pool_throughput(SyncMethod::Tbegin, cpus, 10, 1);
+    assert!(fine > coarse, "fine {fine} > coarse {coarse}");
+    assert!(tbeginc > fine, "TBEGINC {tbeginc} > fine {fine}");
+    assert!(tbegin > fine, "TBEGIN {tbegin} > fine {fine}");
+}
+
+#[test]
+fn fig5c_locks_win_under_extreme_contention() {
+    // 4 variables from a pool of 10: transactions help at low CPU counts
+    // but locks degrade less steeply (§IV's four-variable discussion).
+    let lock_low = pool_throughput(SyncMethod::CoarseLock, 2, 10, 4);
+    let tx_low = pool_throughput(SyncMethod::Tbeginc, 2, 10, 4);
+    assert!(
+        tx_low > lock_low,
+        "TX wins at 2 CPUs: {tx_low} vs {lock_low}"
+    );
+    let lock_high = pool_throughput(SyncMethod::CoarseLock, 16, 10, 4);
+    let tx_high = pool_throughput(SyncMethod::Tbeginc, 16, 10, 4);
+    assert!(
+        lock_high > tx_high,
+        "lock wins at 16 CPUs: {lock_high} vs {tx_high}"
+    );
+}
+
+#[test]
+fn fig5d_transactional_readers_beat_rwlock() {
+    let run = |method| {
+        let wl = ReadWorkload::new(512, method);
+        let mut sys = System::new(SystemConfig::with_cpus(10).seed(42));
+        wl.run(&mut sys, 40).throughput()
+    };
+    let rw = run(ReadMethod::RwLock);
+    let tx = run(ReadMethod::Tbeginc);
+    assert!(tx > 1.5 * rw, "TBEGINC {tx} vs rwlock {rw}");
+}
+
+#[test]
+fn fig5e_elision_scales_global_lock_does_not() {
+    let run = |method, cpus| {
+        let t = HashTable::new(256, 1024, 20, method);
+        let mut sys = System::new(SystemConfig::with_cpus(cpus).seed(42));
+        t.populate(&mut sys, &(0..512).collect::<Vec<_>>());
+        t.run(&mut sys, 60).throughput()
+    };
+    let lock1 = run(TableMethod::GlobalLock, 1);
+    let lock6 = run(TableMethod::GlobalLock, 6);
+    let tx6 = run(TableMethod::Elision, 6);
+    // The paper notes slight growth at small counts (miss latency hidden
+    // under lock waiting) before flattening.
+    assert!(
+        lock6 < 2.5 * lock1,
+        "global lock stays flat-ish: {lock1} → {lock6}"
+    );
+    assert!(tx6 > 2.0 * lock6, "elision scales: {tx6} vs {lock6}");
+}
+
+#[test]
+fn fig5f_lru_extension_expands_the_footprint_bound() {
+    // Monte-Carlo on the real cache mechanism: at 450 random lines the
+    // 64x6 configuration aborts nearly always, the 512x8 one nearly never.
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    let rate = |ext: bool, rng: &mut SmallRng| {
+        let geom = CacheGeometry {
+            lru_extension: ext,
+            ..CacheGeometry::zec12()
+        };
+        let trials = 40;
+        let aborts = (0..trials)
+            .filter(|_| {
+                let mut cache = PrivateCache::new(geom.clone());
+                cache.begin_outermost_tx();
+                for _ in 0..450 {
+                    let line = LineAddr::new(rng.gen_range(0..1_000_000));
+                    let out = cache.install(line, CohState::ReadOnly, AccessClass::Fetch, true);
+                    if out
+                        .events
+                        .iter()
+                        .any(|e| matches!(e, FootprintEvent::FetchOverflow { .. }))
+                    {
+                        return true;
+                    }
+                }
+                false
+            })
+            .count();
+        aborts as f64 / 40.0
+    };
+    let mut rng = SmallRng::seed_from_u64(3);
+    let without = rate(false, &mut rng);
+    let with = rate(true, &mut rng);
+    assert!(without > 0.9, "64x6 aborts nearly always: {without}");
+    assert!(with < 0.1, "512x8 almost never: {with}");
+}
+
+#[test]
+fn e2_constrained_queue_beats_lock_by_around_2x() {
+    let run = |method| {
+        let q = ConcurrentQueue::new(method);
+        let mut sys = System::new(SystemConfig::with_cpus(8).seed(42));
+        q.seed(&mut sys, 64);
+        q.run(&mut sys, 60).throughput()
+    };
+    let lock = run(QueueMethod::Lock);
+    let tx = run(QueueMethod::Tbeginc);
+    let ratio = tx / lock;
+    assert!(
+        (1.2..4.0).contains(&ratio),
+        "paper reports ~2x; got {ratio:.2}x"
+    );
+}
+
+#[test]
+fn e3_stiff_arming_helps_under_contention() {
+    let run = |stiff| {
+        let mut cfg = SystemConfig::with_cpus(12).seed(42);
+        cfg.geometry.stiff_arm = stiff;
+        let mut sys = System::new(cfg);
+        let wl = PoolWorkload::new(PoolLayout::new(10, 1), SyncMethod::Tbegin, 42);
+        let rep = wl.run(&mut sys, 40);
+        (rep.throughput(), rep.abort_rate())
+    };
+    let (with, ab_with) = run(true);
+    let (without, ab_without) = run(false);
+    assert!(with > without, "stiff-arm throughput {with} vs {without}");
+    assert!(
+        ab_without > ab_with,
+        "stiff-arm reduces aborts: {ab_with} vs {ab_without}"
+    );
+}
+
+#[test]
+fn e4_retry_ladder_reduces_aborts_per_commit() {
+    use ztm::core::RetryLadderConfig;
+    let run = |ladder: RetryLadderConfig| {
+        let mut cfg = SystemConfig::with_cpus(8).seed(42);
+        cfg.engine.retry_ladder = ladder;
+        let mut sys = System::new(cfg);
+        let wl = PoolWorkload::new(PoolLayout::new(4, 4), SyncMethod::Tbeginc, 42);
+        let rep = wl.run(&mut sys, 30);
+        assert_eq!(rep.committed_ops(), 240, "forward progress regardless");
+        rep.system.tx.aborts as f64 / rep.system.tx.commits as f64
+    };
+    let bare = run(RetryLadderConfig {
+        enable_speculation_stage: false,
+        enable_broadcast_stage: false,
+        ..RetryLadderConfig::zec12()
+    });
+    let full = run(RetryLadderConfig::zec12());
+    assert!(
+        full < bare,
+        "the full ladder wastes fewer attempts: {full:.2} vs {bare:.2} aborts/commit"
+    );
+}

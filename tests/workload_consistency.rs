@@ -1,0 +1,111 @@
+//! Data-structure consistency of the §IV workloads under adversity: random
+//! forced aborts, timer interruptions, and contention.
+
+use ztm::core::DiagnosticControl;
+use ztm::mem::Address;
+use ztm::sim::{System, SystemConfig};
+use ztm::workloads::hashtable::{HashTable, TableMethod};
+use ztm::workloads::queue::{ConcurrentQueue, QueueMethod};
+use ztm::workloads::rwlock::{ReadMethod, ReadWorkload};
+
+#[test]
+fn elided_hashtable_has_no_duplicate_keys_under_contention() {
+    let t = HashTable::new(128, 256, 50, TableMethod::Elision);
+    let mut sys = System::new(SystemConfig::with_cpus(6));
+    t.populate(&mut sys, &(0..64).collect::<Vec<_>>());
+    let rep = t.run(&mut sys, 60);
+    assert_eq!(rep.committed_ops(), 360);
+    // With a 256-key space and 50% puts, concurrent inserts of the same key
+    // are common — elision must serialize them.
+    for key in 0..256u64 {
+        let mut count = 0;
+        let b = key & 127;
+        let mut node = sys.mem().load_u64(Address::new(0x1000_0000 + b * 8));
+        while node != 0 {
+            if sys.mem().load_u64(Address::new(node)) == key {
+                count += 1;
+            }
+            node = sys.mem().load_u64(Address::new(node + 16));
+        }
+        assert!(count <= 1, "key {key} appears {count} times");
+    }
+}
+
+#[test]
+fn elided_hashtable_survives_random_forced_aborts() {
+    let mut cfg = SystemConfig::with_cpus(4);
+    cfg.engine.diagnostic = DiagnosticControl::Random { denominator: 10 };
+    let t = HashTable::new(128, 512, 30, TableMethod::Elision);
+    let mut sys = System::new(cfg);
+    t.populate(&mut sys, &(0..128).collect::<Vec<_>>());
+    let rep = t.run(&mut sys, 50);
+    assert_eq!(rep.committed_ops(), 200);
+    assert!(rep.system.tx.aborts > 0);
+    let len = t.len(&sys);
+    assert!((128..=128 + 200).contains(&len));
+}
+
+#[test]
+fn constrained_queue_under_timer_interruptions() {
+    // Asynchronous interruptions abort transactions (§II.A); the millicode
+    // retry counter resets on OS interruptions (§III.E). The queue must
+    // still complete and stay consistent.
+    let mut cfg = SystemConfig::with_cpus(4);
+    cfg.timer_interval = Some(5_000);
+    let q = ConcurrentQueue::new(QueueMethod::Tbeginc);
+    let mut sys = System::new(cfg);
+    q.seed(&mut sys, 32);
+    let rep = q.run(&mut sys, 50);
+    assert_eq!(rep.committed_ops(), 200);
+    assert_eq!(q.len(&sys), 32);
+    assert!(
+        rep.system.tx.aborts_by_code.contains_key(&2),
+        "some aborts from the timer: {:?}",
+        rep.system.tx.aborts_by_code
+    );
+}
+
+#[test]
+fn queue_fifo_order_is_preserved_single_consumer() {
+    // One producer-consumer CPU: values must come out in insertion order.
+    let q = ConcurrentQueue::new(QueueMethod::Tbeginc);
+    let mut sys = System::new(SystemConfig::with_cpus(1));
+    q.seed(&mut sys, 3);
+    let rep = q.run(&mut sys, 10);
+    assert_eq!(rep.committed_ops(), 10);
+    assert_eq!(q.len(&sys), 3);
+}
+
+#[test]
+fn rwlock_read_count_balances_under_contention() {
+    let wl = ReadWorkload::new(128, ReadMethod::RwLock);
+    let mut sys = System::new(SystemConfig::with_cpus(10));
+    let rep = wl.run(&mut sys, 40);
+    assert_eq!(rep.committed_ops(), 400);
+    assert_eq!(
+        sys.mem().load_u64(Address::new(wl.rw_word)),
+        0,
+        "reader count must return to zero"
+    );
+}
+
+#[test]
+fn hashtable_lock_and_elision_agree_on_lookups() {
+    // Populate identically, run the same op mix under both methods with the
+    // same seed, then check that every pre-populated key is still present
+    // with a sane value.
+    for method in [TableMethod::GlobalLock, TableMethod::Elision] {
+        let t = HashTable::new(256, 512, 25, method);
+        let mut sys = System::new(SystemConfig::with_cpus(3).seed(77));
+        let keys: Vec<u64> = (0..200).collect();
+        t.populate(&mut sys, &keys);
+        t.run(&mut sys, 40);
+        for &k in &keys {
+            let v = t.lookup(&sys, k).expect("pre-populated key present");
+            assert!(
+                v == k * 10 || v == k,
+                "value is either the original or an update: key {k} value {v}"
+            );
+        }
+    }
+}
