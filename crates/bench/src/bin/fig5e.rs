@@ -4,8 +4,9 @@
 //! threads are added; with transactional lock elision it grows almost
 //! linearly.
 
-use ztm_bench::{ops_for, print_header, print_row, quick};
+use ztm_bench::{ops_for, print_header, print_row, quick, write_bench_json};
 use ztm_sim::{System, SystemConfig};
+use ztm_trace::{Recorder, Tracer};
 use ztm_workloads::hashtable::{HashTable, TableMethod};
 
 fn main() {
@@ -25,13 +26,32 @@ fn main() {
     };
     let base = run(TableMethod::GlobalLock, 1);
     print_header("threads", &["Locks", "TBEGIN"]);
+    let (mut lock_top, mut elision_top) = (0.0, 0.0);
     for &n in &threads {
-        print_row(
-            n,
-            &[
-                run(TableMethod::GlobalLock, n) / base,
-                run(TableMethod::Elision, n) / base,
-            ],
-        );
+        lock_top = run(TableMethod::GlobalLock, n) / base;
+        elision_top = run(TableMethod::Elision, n) / base;
+        print_row(n, &[lock_top, elision_top]);
+    }
+    // Re-run the widest elision point traced for the metrics trajectory.
+    let top = *threads.last().unwrap();
+    let t = HashTable::new(512, 2048, 20, TableMethod::Elision);
+    let mut sys = System::new(SystemConfig::with_cpus(top).seed(42));
+    let (tracer, recorder) = Tracer::recording(Recorder::DEFAULT_CAPACITY);
+    sys.set_tracer(tracer);
+    t.populate(&mut sys, &(0..1024).collect::<Vec<_>>());
+    t.run(&mut sys, ops_for(top).min(150));
+    let rec = recorder.borrow();
+    match write_bench_json(
+        "fig5e_hashtable",
+        &[
+            ("threads", top as f64),
+            ("lock_normalized", lock_top),
+            ("elision_normalized", elision_top),
+            ("elision_speedup", elision_top / lock_top),
+        ],
+        Some(&rec),
+    ) {
+        Ok(path) => println!("\nmetrics: {}", path.display()),
+        Err(e) => eprintln!("metrics export failed: {e}"),
     }
 }

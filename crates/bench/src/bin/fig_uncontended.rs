@@ -5,14 +5,14 @@
 //! non-constrained transactions differ by only ~0.4% (the lock-test branch
 //! is perfectly predictable).
 
-use ztm_bench::run_pool;
+use ztm_bench::{run_pool, run_pool_traced, write_bench_json};
 use ztm_workloads::pool::SyncMethod;
 
 fn main() {
     println!("E1: uncontended single-CPU overhead (pool=1, vars=1)");
     println!();
     let lock = run_pool(SyncMethod::CoarseLock, 1, 1, 1, 42);
-    let tbegin = run_pool(SyncMethod::Tbegin, 1, 1, 1, 42);
+    let (tbegin, recorder) = run_pool_traced(SyncMethod::Tbegin, 1, 1, 1, 42);
     let tbeginc = run_pool(SyncMethod::Tbeginc, 1, 1, 1, 42);
 
     let rows = [
@@ -30,4 +30,19 @@ fn main() {
         100.0 * (tbegin.avg_op_cycles() - tbeginc.avg_op_cycles()).abs() / tbegin.avg_op_cycles();
     println!("TBEGIN advantage over lock : {tx_vs_lock:+.1}%   (paper: ~+30%)");
     println!("TBEGINC vs TBEGIN          : {c_vs_nc:.2}%   (paper: ~0.4%)");
+    let rec = recorder.borrow();
+    match write_bench_json(
+        "E1_uncontended",
+        &[
+            ("lock_cycles_per_op", lock.avg_op_cycles()),
+            ("tbegin_cycles_per_op", tbegin.avg_op_cycles()),
+            ("tbeginc_cycles_per_op", tbeginc.avg_op_cycles()),
+            ("tbegin_advantage_pct", tx_vs_lock),
+            ("tbeginc_vs_tbegin_pct", c_vs_nc),
+        ],
+        Some(&rec),
+    ) {
+        Ok(path) => println!("metrics: {}", path.display()),
+        Err(e) => eprintln!("metrics export failed: {e}"),
+    }
 }

@@ -20,7 +20,11 @@
 //! `cargo run --release -p ztm-bench --bin fig5b`.
 //! Set `ZTM_QUICK=1` for a reduced sweep.
 
+use std::cell::RefCell;
+use std::path::PathBuf;
+use std::rc::Rc;
 use ztm_sim::{System, SystemConfig};
+use ztm_trace::{Recorder, Tracer};
 use ztm_workloads::pool::{PoolLayout, PoolWorkload, SyncMethod};
 use ztm_workloads::WorkloadReport;
 
@@ -66,6 +70,60 @@ pub fn run_pool(
     wl.run(&mut sys, ops_for(cpus))
 }
 
+/// Like [`run_pool`], but with a recording [`ztm_trace`] tracer attached, so
+/// the caller can export the run's event-level metrics.
+pub fn run_pool_traced(
+    method: SyncMethod,
+    cpus: usize,
+    pool: u64,
+    vars: usize,
+    seed: u64,
+) -> (WorkloadReport, Rc<RefCell<Recorder>>) {
+    let wl = PoolWorkload::new(PoolLayout::new(pool, vars), method, seed);
+    let mut sys = System::new(SystemConfig::with_cpus(cpus).seed(seed));
+    let (tracer, recorder) = Tracer::recording(Recorder::DEFAULT_CAPACITY);
+    sys.set_tracer(tracer);
+    let report = wl.run(&mut sys, ops_for(cpus));
+    (report, recorder)
+}
+
+/// Writes `BENCH_<name>.json` into the results directory (`ZTM_RESULTS_DIR`,
+/// default `results/`): the benchmark's headline numbers plus, when a
+/// recorder is given, the run's full [`ztm_trace::Metrics`] document — so
+/// every figure binary leaves a machine-readable perf trajectory behind.
+///
+/// # Errors
+///
+/// Propagates filesystem errors from creating the directory or writing.
+pub fn write_bench_json(
+    name: &str,
+    headlines: &[(&str, f64)],
+    recorder: Option<&Recorder>,
+) -> std::io::Result<PathBuf> {
+    let dir = PathBuf::from(std::env::var("ZTM_RESULTS_DIR").unwrap_or_else(|_| "results".into()));
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("BENCH_{name}.json"));
+    let mut body = String::from("{\n");
+    body.push_str(&format!("  \"bench\": \"{name}\",\n"));
+    let hl: Vec<String> = headlines
+        .iter()
+        .map(|(k, v)| format!("    \"{k}\": {v}"))
+        .collect();
+    body.push_str(&format!("  \"headlines\": {{\n{}\n  }},\n", hl.join(",\n")));
+    match recorder {
+        Some(rec) => {
+            // The metrics document is itself JSON; indent it for nesting.
+            let nested = rec.metrics_json();
+            let nested = nested.trim_end().replace('\n', "\n  ");
+            body.push_str(&format!("  \"metrics\": {nested}\n"));
+        }
+        None => body.push_str("  \"metrics\": null\n"),
+    }
+    body.push_str("}\n");
+    std::fs::write(&path, body)?;
+    Ok(path)
+}
+
 /// The paper's normalization reference: the throughput of 2 CPUs updating a
 /// single variable from a pool of 1 (coarse lock); figures divide by this
 /// and multiply by 100.
@@ -104,5 +162,24 @@ mod tests {
     #[test]
     fn reference_is_positive() {
         assert!(reference_throughput(1) > 0.0);
+    }
+
+    #[test]
+    fn bench_json_exports_headlines_and_metrics() {
+        let dir = std::env::temp_dir().join("ztm-bench-json-test");
+        std::env::set_var("ZTM_RESULTS_DIR", &dir);
+        let (report, recorder) = run_pool_traced(SyncMethod::Tbegin, 2, 4, 1, 7);
+        let path = write_bench_json(
+            "test",
+            &[("cycles_per_op", report.avg_op_cycles())],
+            Some(&recorder.borrow()),
+        )
+        .unwrap();
+        std::env::remove_var("ZTM_RESULTS_DIR");
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"cycles_per_op\""));
+        assert!(text.contains("\"abort_codes\""), "{text}");
+        assert!(text.contains("\"digest\""));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

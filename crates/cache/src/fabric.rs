@@ -4,6 +4,7 @@
 use crate::{ChipId, CpuId, Distance, McmId, SetAssoc, Topology, XiKind};
 use std::collections::HashMap;
 use ztm_mem::LineAddr;
+use ztm_trace::{Event, Tracer};
 
 /// zEC12 L3 geometry: 48 MB / 256-byte lines / 12 ways = 16384 sets.
 const L3_SETS: usize = 16_384;
@@ -91,6 +92,9 @@ pub struct Fabric {
     l3: Vec<SetAssoc<()>>,
     /// Count of XIs sent, by kind, for statistics.
     xi_counts: [u64; 4],
+    /// Shared (CPU-agnostic) tracer; emissions are attributed to the
+    /// requesting CPU explicitly.
+    tracer: Tracer,
 }
 
 impl Fabric {
@@ -113,7 +117,13 @@ impl Fabric {
                 .map(|_| SetAssoc::new(l3_sets, l3_ways))
                 .collect(),
             xi_counts: [0; 4],
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Attaches a tracer; XI-issue events are attributed to the requester.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// The system topology.
@@ -154,6 +164,13 @@ impl Fabric {
             }
         }
 
+        for &(to, kind) in &xis {
+            self.tracer.emit_at(requester.0 as u16, || Event::XiIssue {
+                to: to.0 as u16,
+                line: line.index(),
+                kind: kind.code(),
+            });
+        }
         let source = match intervention {
             Some(owner) => Source::Cpu(owner),
             None => self.nearest_source(requester, line),
@@ -194,12 +211,7 @@ impl Fabric {
     /// Records the outcome of one delivered XI. Accepted XIs update the
     /// directory; rejected ones leave it unchanged (the sender will repeat).
     pub fn apply_xi_result(&mut self, target: CpuId, line: LineAddr, kind: XiKind, accepted: bool) {
-        self.xi_counts[match kind {
-            XiKind::Exclusive => 0,
-            XiKind::Demote => 1,
-            XiKind::ReadOnly => 2,
-            XiKind::Lru => 3,
-        }] += 1;
+        self.xi_counts[kind.code() as usize] += 1;
         if !accepted {
             return;
         }

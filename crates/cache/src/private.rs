@@ -6,6 +6,7 @@ use crate::store_cache::{DrainWrite, StoreCache, StoreOutcome};
 use crate::{CacheGeometry, CpuId, FootprintEvent, SetAssoc, Xi, XiKind, XiResponse};
 use std::collections::HashMap;
 use ztm_mem::{Address, LineAddr};
+use ztm_trace::{hit_level, Event, Tracer};
 
 /// Coherence state of a line in the private cache unit (MESI variant of the
 /// paper: lines are owned read-only/shared or exclusive; the store-through
@@ -102,6 +103,7 @@ pub struct PrivateCache {
     /// in flight rejects many different requesters once or twice each,
     /// which is not a hang.
     reject_counts: HashMap<CpuId, u32>,
+    tracer: Tracer,
 }
 
 impl PrivateCache {
@@ -115,7 +117,15 @@ impl PrivateCache {
             geom,
             in_tx: false,
             reject_counts: HashMap::new(),
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Attaches a tracer (also cloned into the gathering store cache, so its
+    /// events carry the same CPU attribution).
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.store_cache.set_tracer(tracer.clone());
+        self.tracer = tracer;
     }
 
     /// The unit's geometry.
@@ -155,7 +165,7 @@ impl PrivateCache {
     /// Local lookup for an access; decides whether the fabric is needed.
     pub fn lookup(&mut self, line: LineAddr, class: AccessClass) -> LocalHit {
         let need_excl = class == AccessClass::Store;
-        match self.l2.peek(line).map(|e| e.state) {
+        let hit = match self.l2.peek(line).map(|e| e.state) {
             Some(state) => {
                 if need_excl && state == CohState::ReadOnly {
                     LocalHit::Miss {
@@ -172,7 +182,18 @@ impl PrivateCache {
             None => LocalHit::Miss {
                 held_read_only: false,
             },
-        }
+        };
+        self.tracer.emit(|| Event::Access {
+            line: line.index(),
+            store: need_excl,
+            hit: match hit {
+                LocalHit::L1 => hit_level::L1,
+                LocalHit::L2 => hit_level::L2,
+                LocalHit::Miss { .. } => hit_level::MISS,
+            },
+            tx: self.in_tx,
+        });
+        hit
     }
 
     /// Installs a line granted by the fabric (or upgrades it), placing it in
@@ -186,6 +207,11 @@ impl PrivateCache {
         tx: bool,
     ) -> InstallOutcome {
         let mut out = InstallOutcome::default();
+        self.tracer.emit(|| Event::Install {
+            line: line.index(),
+            excl: state == CohState::Exclusive,
+            tx,
+        });
         match self.l2.get(line) {
             Some(e) => e.state = state,
             None => {
@@ -234,6 +260,12 @@ impl PrivateCache {
             }
         });
         if let Some((vline, ventry)) = evicted {
+            self.tracer.emit(|| Event::Evict {
+                line: vline.index(),
+                level: 1,
+                tx_read: ventry.tx_read,
+                tx_dirty: ventry.tx_dirty,
+            });
             // tx-dirty lines may leave the L1 (data is safe in the store
             // cache and the line stays in the L2, §III.C). tx-read lines
             // set the LRU-extension bit, or abort without the extension.
@@ -281,6 +313,13 @@ impl PrivateCache {
         out.lost_lines.push(vline);
         self.store_cache.drain_line(vline);
         let row = vline.congruence_class(self.geom.l1_sets);
+        let l1_entry = self.l1.peek(vline).copied();
+        self.tracer.emit(|| Event::Evict {
+            line: vline.index(),
+            level: 2,
+            tx_read: l1_entry.map(|e| e.tx_read).unwrap_or(false),
+            tx_dirty: l1_entry.map(|e| e.tx_dirty).unwrap_or(false),
+        });
         if let Some(e) = self.l1.remove(vline) {
             if e.tx_dirty {
                 // A transactionally dirty line must stay in the L2 (§III.D).
@@ -352,6 +391,11 @@ impl PrivateCache {
                     *c
                 };
                 if count <= self.geom.xi_reject_threshold {
+                    self.tracer.emit(|| Event::XiReject {
+                        line: line.index(),
+                        kind: xi.kind.code(),
+                        count,
+                    });
                     return XiOutcome {
                         response: XiResponse::Reject,
                         events: Vec::new(),
@@ -359,12 +403,24 @@ impl PrivateCache {
                 }
                 // Reject budget exhausted without completing instructions:
                 // accept the XI and abort to avoid a hang (§III.C).
+                self.tracer.emit(|| Event::XiAccept {
+                    line: line.index(),
+                    kind: xi.kind.code(),
+                    conflict: true,
+                });
+                self.tracer
+                    .emit(|| Event::RejectHang { line: line.index() });
                 let mut out = self.apply_xi_transition(xi);
                 out.events.push(FootprintEvent::RejectHang { line });
                 return out;
             }
         }
 
+        self.tracer.emit(|| Event::XiAccept {
+            line: line.index(),
+            kind: xi.kind.code(),
+            conflict: footprint_hit,
+        });
         let mut out = self.apply_xi_transition(xi);
         if footprint_hit {
             out.events.push(FootprintEvent::Conflict {

@@ -1,6 +1,7 @@
 //! The gathering store cache (§III.D).
 
 use ztm_mem::{Address, HalfLineAddr, LineAddr, MainMemory, HALF_LINE_SIZE};
+use ztm_trace::{Event, Tracer};
 
 /// One 128-byte gathering entry.
 #[derive(Debug, Clone)]
@@ -100,6 +101,7 @@ pub struct StoreCache {
     entries: Vec<Entry>,
     capacity: usize,
     next_age: u64,
+    tracer: Tracer,
 }
 
 impl StoreCache {
@@ -114,7 +116,13 @@ impl StoreCache {
             entries: Vec::with_capacity(capacity),
             capacity,
             next_age: 0,
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Attaches a tracer for gather/close/drain/overflow events.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// Number of occupied entries.
@@ -163,6 +171,11 @@ impl StoreCache {
             if ntstg {
                 e.ntstg |= Self::dw_mask(offset, bytes.len());
             }
+            self.tracer.emit(|| Event::StoreGather {
+                line: half.line().index(),
+                tx,
+                ntstg,
+            });
             if overlap_plain || overlap_ntstg {
                 return StoreOutcome::NtstgOverlap;
             }
@@ -186,7 +199,12 @@ impl StoreCache {
                     // Non-tx data is already in memory; just drop the entry.
                     self.entries.swap_remove(i);
                 }
-                None => return StoreOutcome::Overflow,
+                None => {
+                    self.tracer.emit(|| Event::StoreOverflow {
+                        line: half.line().index(),
+                    });
+                    return StoreOutcome::Overflow;
+                }
             }
         }
 
@@ -206,6 +224,11 @@ impl StoreCache {
         self.next_age += 1;
         e.data[offset..offset + bytes.len()].copy_from_slice(bytes);
         self.entries.push(e);
+        self.tracer.emit(|| Event::StoreNewEntry {
+            line: half.line().index(),
+            tx,
+            ntstg,
+        });
         StoreOutcome::NewEntry
     }
 
@@ -213,6 +236,10 @@ impl StoreCache {
     /// entries so no new stores gather into them and (in this model) drains
     /// the non-transactional ones immediately.
     pub fn begin_tx(&mut self) {
+        let closing = self.entries.len();
+        self.tracer.emit(|| Event::StoreClose {
+            entries: closing as u16,
+        });
         // Non-tx entry data already lives in memory; dropping models the
         // started eviction to L2/L3.
         self.entries.retain(|e| e.tx);
@@ -238,6 +265,12 @@ impl StoreCache {
                 e.closed = false;
             }
         }
+        for w in &writes {
+            self.tracer.emit(|| Event::StoreDrain {
+                half: w.half_line.index(),
+                bytes: w.byte_count() as u16,
+            });
+        }
         writes
     }
 
@@ -259,6 +292,12 @@ impl StoreCache {
             }
         }
         self.entries.retain(|e| !e.tx);
+        for w in &writes {
+            self.tracer.emit(|| Event::StoreDrain {
+                half: w.half_line.index(),
+                bytes: w.byte_count() as u16,
+            });
+        }
         writes
     }
 

@@ -25,6 +25,17 @@ impl XiKind {
     pub fn rejectable(self) -> bool {
         matches!(self, XiKind::Exclusive | XiKind::Demote)
     }
+
+    /// Stable numeric code, matching [`ztm_trace::xi_kind`] and the order of
+    /// the fabric's per-kind counters.
+    pub fn code(self) -> u8 {
+        match self {
+            XiKind::Exclusive => 0,
+            XiKind::Demote => 1,
+            XiKind::ReadOnly => 2,
+            XiKind::Lru => 3,
+        }
+    }
 }
 
 /// A cross-interrogate delivered to a private cache unit.

@@ -6,6 +6,7 @@
 use std::fmt::Write as _;
 use ztm_core::DiagnosticControl;
 use ztm_sim::{System, SystemConfig};
+use ztm_trace::{Metrics, Recorder, Tracer};
 use ztm_workloads::bank::{Bank, BankMethod};
 use ztm_workloads::dlist::{DoublyLinkedList, ListMethod};
 use ztm_workloads::hashtable::{HashTable, TableMethod};
@@ -56,6 +57,10 @@ pub struct Options {
     pub tdc: Option<String>,
     /// Print the execution trace of this CPU afterwards.
     pub trace_cpu: Option<usize>,
+    /// Write a Chrome trace-event JSON document here.
+    pub trace_out: Option<String>,
+    /// Write a metrics JSON document here.
+    pub metrics_out: Option<String>,
     /// Print a per-CPU measurement table.
     pub per_cpu: bool,
 }
@@ -74,6 +79,8 @@ impl Default for Options {
             no_stiff_arm: false,
             tdc: None,
             trace_cpu: None,
+            trace_out: None,
+            metrics_out: None,
             per_cpu: false,
         }
     }
@@ -86,6 +93,8 @@ ztm-run — zEC12 transactional-memory simulator driver
 
 USAGE:
     ztm-run [OPTIONS]
+    ztm-run summarize-trace <path>    summarize a recorded trace file:
+                                      metrics, digest check, invariant check
 
 OPTIONS:
     --workload <pool|read|hashtable|queue|dlist|bank>   (default pool)
@@ -100,7 +109,11 @@ OPTIONS:
     --tdc <random|always>  force random aborts (§II.E.3)
     --no-prefetch       disable speculative-fetch modeling
     --no-stiff-arm      disable XI rejection (E3 ablation)
-    --trace <cpu>       print the execution trace of one CPU
+    --trace-cpu <cpu>   print the execution trace of one CPU
+    --trace <path>      record events and write a Chrome trace-event JSON
+                        (load in Perfetto / chrome://tracing)
+    --metrics <path>    write machine-readable metrics JSON (counters,
+                        abort-code and latency histograms, trace digest)
     --per-cpu           print a per-CPU measurement table
     -h, --help          this help
 "
@@ -156,9 +169,15 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
             "--per-cpu" => o.per_cpu = true,
             "--no-prefetch" => o.no_prefetch = true,
             "--no-stiff-arm" => o.no_stiff_arm = true,
-            "--trace" => {
-                o.trace_cpu = Some(value()?.parse().map_err(|_| "trace needs a CPU index")?)
+            "--trace-cpu" => {
+                o.trace_cpu = Some(
+                    value()?
+                        .parse()
+                        .map_err(|_| "trace-cpu needs a CPU index")?,
+                )
             }
+            "--trace" => o.trace_out = Some(value()?),
+            "--metrics" => o.metrics_out = Some(value()?),
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -187,10 +206,17 @@ pub fn execute(o: &Options) -> Result<String, String> {
     let mut sys = build_system(o)?;
     if let Some(cpu) = o.trace_cpu {
         if cpu >= o.cpus {
-            return Err(format!("--trace {cpu} but only {} CPUs", o.cpus));
+            return Err(format!("--trace-cpu {cpu} but only {} CPUs", o.cpus));
         }
         sys.set_trace(cpu, true);
     }
+    let recorder = if o.trace_out.is_some() || o.metrics_out.is_some() {
+        let (tracer, recorder) = Tracer::recording(Recorder::DEFAULT_CAPACITY);
+        sys.set_tracer(tracer);
+        Some(recorder)
+    } else {
+        None
+    };
     let rep: WorkloadReport = match o.workload {
         Workload::Pool => {
             let method = match o.method.as_str() {
@@ -300,9 +326,123 @@ pub fn execute(o: &Options) -> Result<String, String> {
             );
         }
     }
+    if let Some(rec) = &recorder {
+        let rec = rec.borrow();
+        let _ = writeln!(
+            out,
+            "trace events      : {} recorded, {} dropped, digest {:#018x}",
+            rec.len(),
+            rec.dropped(),
+            rec.digest()
+        );
+        if let Some(path) = &o.trace_out {
+            std::fs::write(path, rec.chrome_trace_json())
+                .map_err(|e| format!("writing {path}: {e}"))?;
+            let _ = writeln!(out, "trace written     : {path}");
+        }
+        if let Some(path) = &o.metrics_out {
+            std::fs::write(path, rec.metrics_json()).map_err(|e| format!("writing {path}: {e}"))?;
+            let _ = writeln!(out, "metrics written   : {path}");
+        }
+    }
     if let Some(cpu) = o.trace_cpu {
         let _ = writeln!(out, "\n--- trace of cpu{cpu} (most recent steps) ---");
         out.push_str(&sys.trace_listing());
+    }
+    Ok(out)
+}
+
+/// Summarizes a recorded Chrome trace-event document: event counts, digest
+/// verification, aggregated metrics, and the invariant-check verdict.
+///
+/// # Errors
+///
+/// Returns a message when the document cannot be parsed back into an event
+/// stream.
+pub fn summarize_trace(text: &str) -> Result<String, String> {
+    let events = ztm_trace::parse_chrome_trace(text)?;
+    let mut out = String::new();
+    let _ = writeln!(out, "events            : {}", events.len());
+    let digest = ztm_trace::digest_of(&events);
+    match ztm_trace::parse_trace_digest(text) {
+        Some(stored) if stored == digest => {
+            let _ = writeln!(out, "digest            : {digest:#018x} (verified)");
+        }
+        Some(stored) => {
+            // A mismatch is expected when the recorder dropped events (the
+            // digest covers the full stream, the file only the retained tail).
+            let _ = writeln!(
+                out,
+                "digest            : {digest:#018x} (file header says {stored:#018x} — \
+                 stream truncated or corrupted)"
+            );
+        }
+        None => {
+            let _ = writeln!(out, "digest            : {digest:#018x} (no header digest)");
+        }
+    }
+    if let Some((first, last)) = events.first().zip(events.last()) {
+        let _ = writeln!(out, "clock span        : {} .. {}", first.clock, last.clock);
+    }
+    let m = Metrics::from_events(&events);
+    let _ = writeln!(
+        out,
+        "tx begins         : {} outermost, {} nested",
+        m.tx_begins, m.tx_nested_begins
+    );
+    let _ = writeln!(
+        out,
+        "tx commits/aborts : {} / {} ({} constrained aborts)",
+        m.tx_commits, m.tx_aborts, m.tx_aborts_constrained
+    );
+    if !m.abort_codes.is_empty() {
+        let _ = writeln!(out, "abort codes       : {:?}", m.abort_codes);
+    }
+    let _ = writeln!(
+        out,
+        "accesses          : {} miss / {} L1 / {} L2 ({} in tx)",
+        m.accesses[0], m.accesses[1], m.accesses[2], m.tx_accesses
+    );
+    let _ = writeln!(
+        out,
+        "xi issued         : {:?} accepted {:?} rejected {:?} hangs {}",
+        m.xi_issued, m.xi_accepted, m.xi_rejected, m.reject_hangs
+    );
+    let _ = writeln!(
+        out,
+        "store cache       : {} new / {} gathered / {} overflows / {} drains ({} B)",
+        m.store_new, m.store_gathered, m.store_overflows, m.store_drains, m.store_drain_bytes
+    );
+    if m.ladder_stages > 0 {
+        let _ = writeln!(
+            out,
+            "retry ladder      : {} stages, max attempt {}, {} no-spec, {} broadcast-stop",
+            m.ladder_stages, m.ladder_max_attempt, m.ladder_disable_spec, m.ladder_broadcast_stop
+        );
+    }
+    if m.fabric_queued > 0 {
+        let _ = writeln!(
+            out,
+            "fabric queueing   : {} delayed transfers, {} cycles total",
+            m.fabric_queued, m.fabric_queued_cycles
+        );
+    }
+    if !m.commit_latency_log2.is_empty() {
+        let _ = writeln!(out, "commit log2 lat   : {:?}", m.commit_latency_log2);
+    }
+    if !m.abort_latency_log2.is_empty() {
+        let _ = writeln!(out, "abort log2 lat    : {:?}", m.abort_latency_log2);
+    }
+    match ztm_trace::check_invariants(&events) {
+        Ok(()) => {
+            let _ = writeln!(out, "invariants        : ok");
+        }
+        Err(violations) => {
+            let _ = writeln!(out, "invariants        : {} VIOLATED", violations.len());
+            for v in &violations {
+                let _ = writeln!(out, "  - {v}");
+            }
+        }
     }
     Ok(out)
 }
@@ -334,7 +474,8 @@ mod tests {
     fn full_flag_set_parses() {
         let o = parse_args(&args(
             "--workload bank --method tbeginc --cpus 6 --ops 10 --pool 8 --vars 2 \
-             --seed 7 --tdc random --no-prefetch --no-stiff-arm --trace 1",
+             --seed 7 --tdc random --no-prefetch --no-stiff-arm --trace-cpu 1 \
+             --trace t.json --metrics m.json",
         ))
         .unwrap();
         assert_eq!(o.workload, Workload::Bank);
@@ -347,6 +488,8 @@ mod tests {
         assert_eq!(o.tdc.as_deref(), Some("random"));
         assert!(o.no_prefetch && o.no_stiff_arm);
         assert_eq!(o.trace_cpu, Some(1));
+        assert_eq!(o.trace_out.as_deref(), Some("t.json"));
+        assert_eq!(o.metrics_out.as_deref(), Some("m.json"));
     }
 
     #[test]
@@ -389,7 +532,7 @@ mod tests {
 
     #[test]
     fn trace_output_included() {
-        let o = parse_args(&args("--cpus 2 --ops 3 --trace 0")).unwrap();
+        let o = parse_args(&args("--cpus 2 --ops 3 --trace-cpu 0")).unwrap();
         let report = execute(&o).unwrap();
         assert!(report.contains("trace of cpu0"));
         assert!(report.contains("TBEGIN"));
@@ -429,9 +572,47 @@ mod tests {
             "--tdc",
             "--no-prefetch",
             "--no-stiff-arm",
+            "--trace-cpu",
             "--trace",
+            "--metrics",
+            "summarize-trace",
         ] {
             assert!(u.contains(flag), "usage missing {flag}");
         }
+    }
+
+    #[test]
+    fn trace_and_metrics_files_round_trip() {
+        let dir = std::env::temp_dir();
+        let trace_path = dir.join("ztm-cli-test-trace.json");
+        let metrics_path = dir.join("ztm-cli-test-metrics.json");
+        let o = parse_args(&args(&format!(
+            "--cpus 4 --ops 30 --pool 2 --trace {} --metrics {}",
+            trace_path.display(),
+            metrics_path.display()
+        )))
+        .unwrap();
+        let report = execute(&o).unwrap();
+        assert!(report.contains("trace events"), "{report}");
+
+        let trace = std::fs::read_to_string(&trace_path).unwrap();
+        assert!(trace.contains("\"traceEvents\""));
+        let summary = summarize_trace(&trace).unwrap();
+        assert!(summary.contains("(verified)"), "{summary}");
+        assert!(summary.contains("invariants        : ok"), "{summary}");
+
+        let metrics = std::fs::read_to_string(&metrics_path).unwrap();
+        assert!(metrics.contains("\"commits\""), "{metrics}");
+        assert!(metrics.contains("\"abort_codes\""), "{metrics}");
+        let _ = std::fs::remove_file(&trace_path);
+        let _ = std::fs::remove_file(&metrics_path);
+    }
+
+    #[test]
+    fn summarize_rejects_garbage() {
+        // A document with a malformed enc payload must error.
+        let bad = "{\"traceEvents\": [\n{\"name\": \"x\", \"ph\": \"i\", \"ts\": 1, \
+                   \"pid\": 1, \"tid\": 0, \"args\": {\"enc\": \"ZZ x=1\"}}\n]}";
+        assert!(summarize_trace(bad).is_err());
     }
 }

@@ -10,6 +10,7 @@ use crate::tdb::Tdb;
 use rand::Rng;
 use ztm_cache::FootprintEvent;
 use ztm_mem::Address;
+use ztm_trace::{Event, Tracer};
 
 /// Maximum supported transaction nesting depth (§II.A).
 pub const MAX_NESTING_DEPTH: usize = 16;
@@ -132,6 +133,7 @@ pub struct TxEngine {
     /// Consecutive aborts of the current transaction site (reset on commit);
     /// recorded into the TDB as CPU-specific diagnostic information.
     abort_streak: u64,
+    tracer: Tracer,
 }
 
 impl TxEngine {
@@ -149,7 +151,14 @@ impl TxEngine {
             stats: TxStats::new(),
             speculation_disabled: false,
             abort_streak: 0,
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Attaches a tracer (also cloned into the millicode retry ladder).
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.retry.set_tracer(tracer.clone());
+        self.tracer = tracer;
     }
 
     /// Current nesting depth (0 = not in transactional-execution mode).
@@ -237,6 +246,11 @@ impl TxEngine {
             self.effective = self.effective.merge(&p);
             self.level_params.push(p);
             self.stats.nested_begins += 1;
+            let depth = self.depth() as u16;
+            self.tracer.emit(|| Event::TxBegin {
+                constrained: false,
+                depth,
+            });
             return Ok(BeginOutcome::Nested);
         }
 
@@ -258,6 +272,10 @@ impl TxEngine {
         } else {
             self.stats.tbegins += 1;
         }
+        self.tracer.emit(|| Event::TxBegin {
+            constrained,
+            depth: 1,
+        });
         // TBEGIN is cracked into micro-ops: the two FXUs save two GR pairs
         // per cycle into the backup register file (§III.B), plus a TDB
         // accessibility test when one is specified.
@@ -281,6 +299,7 @@ impl TxEngine {
             self.abort_streak = 0;
             self.retry.on_commit();
             self.effective = EffectiveControls::from_params(&TbeginParams::new());
+            self.tracer.emit(|| Event::TxCommit);
             TendOutcome::Commit { cycles: 2 }
         } else {
             // Recompute effective controls for the remaining nest.
@@ -459,6 +478,11 @@ impl TxEngine {
 
         self.abort_streak += 1;
         self.stats.record_abort(cause);
+        self.tracer.emit(|| Event::TxAbort {
+            code: cause.abort_code() as u16,
+            cc: cause.condition().value(),
+            constrained: outer.constrained,
+        });
 
         let gr_restores: Vec<(usize, u64)> = outer
             .grsm

@@ -2,6 +2,7 @@
 //! assist, and the constrained-transaction retry ladder (§III.E).
 
 use rand::Rng;
+use ztm_trace::{Event, Tracer};
 
 /// Cycle costs of millicode routines (§III.E: "Every transaction abort
 /// invokes a dedicated millicode sub-routine").
@@ -111,12 +112,22 @@ pub struct RetryAction {
 pub struct ConstrainedRetry {
     config: RetryLadderConfig,
     count: u32,
+    tracer: Tracer,
 }
 
 impl ConstrainedRetry {
     /// Creates the ladder with the given configuration.
     pub fn new(config: RetryLadderConfig) -> Self {
-        ConstrainedRetry { config, count: 0 }
+        ConstrainedRetry {
+            config,
+            count: 0,
+            tracer: Tracer::disabled(),
+        }
+    }
+
+    /// Attaches a tracer for ladder-stage transitions.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// Consecutive aborts seen so far.
@@ -130,13 +141,20 @@ impl ConstrainedRetry {
         self.count += 1;
         let shift = self.count.min(self.config.delay_max_shift);
         let ceiling = self.config.delay_base << shift;
-        RetryAction {
+        let action = RetryAction {
             delay: rng.gen_range(0..=ceiling),
             disable_speculation: self.config.enable_speculation_stage
                 && self.count >= self.config.disable_speculation_after,
             broadcast_stop: self.config.enable_broadcast_stage
                 && self.count >= self.config.broadcast_stop_after,
-        }
+        };
+        self.tracer.emit(|| Event::LadderStage {
+            attempt: self.count,
+            delay: action.delay,
+            disable_spec: action.disable_speculation,
+            broadcast_stop: action.broadcast_stop,
+        });
+        action
     }
 
     /// Called when the constrained transaction commits.

@@ -17,6 +17,7 @@ use ztm_isa::{
     Machine, Program, StepEvent, StepOutcome,
 };
 use ztm_mem::{Address, LineAddr, MainMemory, PageTable, HALF_LINE_SIZE};
+use ztm_trace::{Event, Tracer};
 
 /// Per-CPU memory-side state.
 #[derive(Debug)]
@@ -99,6 +100,8 @@ pub struct System {
     /// Bounded execution trace (most recent `trace_capacity` records).
     trace: std::collections::VecDeque<TraceRecord>,
     trace_capacity: usize,
+    /// Event tracer ([`ztm_trace`]); disabled by default.
+    tracer: Tracer,
     steps: u64,
 }
 
@@ -135,6 +138,7 @@ impl System {
             traced: vec![false; cpus],
             trace: std::collections::VecDeque::new(),
             trace_capacity: 10_000,
+            tracer: Tracer::disabled(),
             steps: 0,
             config,
         }
@@ -221,6 +225,21 @@ impl System {
         self.traced[cpu] = enabled;
     }
 
+    /// Attaches an event tracer ([`ztm_trace`]): every CPU's data cache,
+    /// store cache, transaction engine and millicode retry ladder emit to a
+    /// per-CPU clone, and the fabric emits requester-attributed XI-issue
+    /// events. The instruction cache is deliberately left untraced so
+    /// `Access` events count data-side activity exactly once.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        for (i, node) in self.nodes.iter_mut().enumerate() {
+            let t = tracer.for_cpu(i as u16);
+            node.cache.set_tracer(t.clone());
+            node.engine.set_tracer(t);
+        }
+        self.fabric.set_tracer(tracer.clone());
+        self.tracer = tracer;
+    }
+
     /// The recorded execution trace, oldest first.
     pub fn trace(&self) -> impl Iterator<Item = &TraceRecord> {
         self.trace.iter()
@@ -265,9 +284,11 @@ impl System {
         }
 
         let prog = Arc::clone(self.programs[i].as_ref().expect("program loaded"));
+        self.tracer.set_clock(self.cores[i].clock);
         let mut view = View {
             cpu: i,
             now: self.cores[i].clock,
+            tracer: self.tracer.for_cpu(i as u16),
             nodes: &mut self.nodes,
             fabric: &mut self.fabric,
             mem: &mut self.mem,
@@ -411,6 +432,7 @@ struct View<'a> {
     /// The stepped CPU's local clock at instruction start (for fabric
     /// bandwidth queueing).
     now: u64,
+    tracer: Tracer,
     nodes: &'a mut [Node],
     fabric: &'a mut Fabric,
     mem: &'a mut MainMemory,
@@ -457,7 +479,9 @@ impl View<'_> {
             .min(self.fabric_busy.len() - 1);
         let start = self.now.max(self.fabric_busy[mcm]);
         self.fabric_busy[mcm] = start + self.config.fabric_occupancy;
-        start - self.now
+        let queued = start - self.now;
+        self.tracer.emit(|| Event::FabricOccupy { queued });
+        queued
     }
 
     /// Fetches `line` through the fabric. `Err(stall)` when an XI was
@@ -1200,6 +1224,34 @@ mod tests {
             .any(|r| matches!(r.event, StepEvent::Committed)));
         let listing = sys.trace_listing();
         assert!(listing.contains("LGHI    r1,5"));
+    }
+
+    #[test]
+    fn event_tracer_captures_a_contended_run() {
+        let var = 0x88_000u64;
+        let (tracer, recorder) = Tracer::recording(1 << 16);
+        let mut sys = System::new(SystemConfig::with_cpus(4));
+        sys.set_tracer(tracer);
+        let prog = tx_increment_program(var, 20);
+        sys.load_program_all(&prog);
+        sys.run_until_halt(3_000_000);
+
+        let rec = recorder.borrow();
+        assert_eq!(rec.dropped(), 0, "ring must be large enough for the run");
+        let m = rec.metrics();
+        let report = sys.report();
+        assert_eq!(m.tx_commits, report.tx.commits);
+        assert_eq!(m.tx_aborts, report.tx.aborts);
+        assert_eq!(
+            m.xi_issued.iter().sum::<u64>(),
+            report.xi_counts.iter().sum::<u64>()
+        );
+        assert!(m.accesses.iter().sum::<u64>() > 0 && m.store_new > 0);
+        // The recorded stream must satisfy every trace invariant.
+        let events = rec.snapshot();
+        if let Err(violations) = ztm_trace::check_invariants(&events) {
+            panic!("invariant violations: {violations:#?}");
+        }
     }
 
     #[test]

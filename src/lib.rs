@@ -14,6 +14,8 @@
 //!   state machine, constrained transactions, TDB, abort handling, millicode.
 //! * [`isa`] — a z-flavored instruction set, assembler and CPU interpreter.
 //! * [`sim`] — the multi-CPU discrete-event system simulator.
+//! * [`trace`] — deterministic event tracing, metrics, trace digests, and
+//!   the trace-replay invariant checker.
 //! * [`workloads`] — the paper's microbenchmarks and lock implementations.
 //!
 //! # Quickstart
@@ -35,4 +37,5 @@ pub use ztm_core as core;
 pub use ztm_isa as isa;
 pub use ztm_mem as mem;
 pub use ztm_sim as sim;
+pub use ztm_trace as trace;
 pub use ztm_workloads as workloads;

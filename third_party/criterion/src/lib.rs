@@ -1,0 +1,216 @@
+//! Offline, dependency-free stand-in for the `criterion` crate.
+//!
+//! Provides the `Criterion` / `Bencher` / `BenchmarkGroup` / `BenchmarkId`
+//! API surface plus the `criterion_group!` / `criterion_main!` macros, with
+//! a simple wall-clock measurement loop (short warm-up, then timed batches,
+//! median-of-samples ns/iter reporting). No statistics machinery, HTML
+//! reports, or baseline storage — results are printed to stdout only.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Runs one benchmark's closure in timed batches.
+pub struct Bencher {
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Measure `routine`: warm up briefly, then time batches and record
+    /// per-iteration nanoseconds.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up: at least 10 iterations or 5 ms, whichever is longer.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_iters < 10 || warm_start.elapsed() < Duration::from_millis(5) {
+            std::hint::black_box(routine());
+            warm_iters += 1;
+            if warm_iters > 1_000_000 {
+                break;
+            }
+        }
+        // Pick a batch size that takes roughly 2 ms.
+        let per_iter = warm_start.elapsed().as_nanos() as f64 / warm_iters as f64;
+        let batch = ((2e6 / per_iter.max(1.0)) as u64).clamp(1, 1_000_000);
+        // Collect samples until ~60 ms elapse or 30 samples exist.
+        let run_start = Instant::now();
+        self.samples.clear();
+        while self.samples.len() < 30 && run_start.elapsed() < Duration::from_millis(60) {
+            let t = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            let ns = t.elapsed().as_nanos() as f64 / batch as f64;
+            self.samples.push(ns);
+        }
+    }
+
+    fn median_ns(&self) -> f64 {
+        let mut s = self.samples.clone();
+        if s.is_empty() {
+            return f64::NAN;
+        }
+        s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        s[s.len() / 2]
+    }
+}
+
+fn run_one(label: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        samples: Vec::new(),
+    };
+    f(&mut b);
+    let ns = b.median_ns();
+    let formatted = if ns >= 1e9 {
+        format!("{:.4} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.4} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.4} µs", ns / 1e3)
+    } else {
+        format!("{ns:.2} ns")
+    };
+    println!("{label:<40} time: [{formatted}]");
+}
+
+/// Identifier for a parameterized benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// A named cluster of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Benchmark `f` with `input`, labeled `group/id`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.id);
+        run_one(&label, &mut |b| f(b, input));
+        self
+    }
+
+    /// Benchmark `f`, labeled `group/id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Display,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, &mut f);
+        self
+    }
+
+    /// Finish the group (accepted for API compatibility; no-op).
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Accepted for API compatibility with `criterion_main!`-generated code.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Run a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_one(id, &mut f);
+        self
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _parent: self,
+        }
+    }
+
+    /// Final summary hook (no-op).
+    pub fn final_summary(&mut self) {}
+}
+
+/// Prevent the optimizer from discarding `value` (re-export convenience).
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Bundle benchmark functions into a group runner callable from
+/// `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config.configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate `main()` running the given groups. Ignores harness CLI arguments
+/// (`--bench`, filters) passed by cargo.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo test` invokes harness-less bench binaries with `--test`;
+            // match real benchmark harness behavior by running nothing then.
+            if std::env::args().any(|a| a == "--test") {
+                return;
+            }
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_produces_samples() {
+        let mut b = Bencher {
+            samples: Vec::new(),
+        };
+        b.iter(|| std::hint::black_box(1u64 + 1));
+        assert!(!b.samples.is_empty());
+        assert!(b.median_ns().is_finite());
+    }
+
+    #[test]
+    fn benchmark_id_forms() {
+        assert_eq!(BenchmarkId::new("f", 3).id, "f/3");
+        assert_eq!(BenchmarkId::from_parameter("x").id, "x");
+    }
+}
