@@ -5,7 +5,7 @@
 //! per cycle. This sweep measures uncontended cycles/update for 0…8 saved
 //! pairs.
 
-use ztm_bench::{print_header, print_row};
+use ztm_bench::{print_header, print_row, sweep};
 use ztm_core::{GrSaveMask, TbeginParams};
 use ztm_isa::{gr::*, Assembler, MemOperand};
 use ztm_sim::{System, SystemConfig};
@@ -46,10 +46,10 @@ fn main() {
     println!("GRSM ablation: TBEGIN cost vs saved GR pairs (1 CPU, uncontended)");
     println!();
     print_header("pairs", &["cycles/update"]);
-    let full = run(8);
-    let none = run(0);
-    for pairs in 0..=8 {
-        print_row(pairs, &[run(pairs)]);
+    let results = sweep((0..=8u32).collect(), |&pairs| run(pairs));
+    let (none, full) = (results[0], results[8]);
+    for (pairs, &cycles) in results.iter().enumerate() {
+        print_row(pairs, &[cycles]);
     }
     println!();
     println!(

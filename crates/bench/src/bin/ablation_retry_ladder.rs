@@ -7,7 +7,7 @@
 //! and prefetched neighbors are hot lines the transaction does not need)
 //! under each ladder configuration.
 
-use ztm_bench::{print_header, print_row, quick};
+use ztm_bench::{print_header, print_row, quick, sweep};
 use ztm_core::RetryLadderConfig;
 use ztm_sim::{System, SystemConfig};
 use ztm_workloads::pool::{PoolLayout, PoolWorkload, SyncMethod};
@@ -36,12 +36,14 @@ fn main() {
         ("+broadcast", RetryLadderConfig::zec12()),
     ];
     print_header("ladder", &["thpt(x1e4)", "aborts/op", "bcasts"]);
-    for (name, ladder) in configs {
+    let results = sweep(configs.to_vec(), |(_, ladder)| {
         let mut cfg = SystemConfig::with_cpus(cpus).seed(42);
-        cfg.engine.retry_ladder = ladder;
+        cfg.engine.retry_ladder = ladder.clone();
         let mut sys = System::new(cfg);
         let wl = PoolWorkload::new(PoolLayout::new(8, 2), SyncMethod::Tbeginc, 42);
-        let rep = wl.run(&mut sys, ops);
+        wl.run(&mut sys, ops)
+    });
+    for ((name, _), rep) in configs.iter().zip(&results) {
         print_row(
             name,
             &[

@@ -6,7 +6,9 @@
 //! threshold but still beats the lock. At 100 CPUs, TBEGINC on the large
 //! pool reaches ~99.8% of the unsynchronized upper bound.
 
-use ztm_bench::{cpu_counts, print_header, print_row, quick, reference_throughput, run_pool};
+use ztm_bench::{
+    cpu_counts, print_header, print_row, quick, reference_throughput, run_pool, sweep,
+};
 use ztm_workloads::pool::SyncMethod;
 
 fn main() {
@@ -36,25 +38,38 @@ fn main() {
         .map(|s| s.as_str())
         .collect::<Vec<_>>(),
     );
-    for cpus in cpu_counts() {
-        let mut row = Vec::new();
+    // One sweep point per (cpus, pool, method) cell, columns in row order.
+    let mut points = Vec::new();
+    for &cpus in &cpu_counts() {
         for pool in pools {
             for method in [
                 SyncMethod::CoarseLock,
                 SyncMethod::Tbeginc,
                 SyncMethod::Tbegin,
             ] {
-                row.push(run_pool(method, cpus, pool, 4, 42).normalized_throughput(reference));
+                points.push((method, cpus, pool));
             }
         }
-        // Reorder: pool0 (lock, tbeginc, tbegin), pool1 (...)
+    }
+    // The "99.8% of no locking" comparison at the largest CPU count.
+    let top = *cpu_counts().last().expect("non-empty sweep");
+    points.push((SyncMethod::None, top, pools[1]));
+    points.push((SyncMethod::Tbeginc, top, pools[1]));
+    let results = sweep(points, |&(method, cpus, pool)| {
+        run_pool(method, cpus, pool, 4, 42).throughput()
+    });
+    for (i, cpus) in cpu_counts().into_iter().enumerate() {
+        let row: Vec<f64> = results[6 * i..6 * i + 6]
+            .iter()
+            .map(|t| 100.0 * t / reference)
+            .collect();
         print_row(cpus, &row);
     }
     println!();
-    // The "99.8% of no locking" comparison at the largest CPU count.
-    let cpus = *cpu_counts().last().expect("non-empty sweep");
-    let none = run_pool(SyncMethod::None, cpus, pools[1], 4, 42).throughput();
-    let tbc = run_pool(SyncMethod::Tbeginc, cpus, pools[1], 4, 42).throughput();
+    let cpus = top;
+    let [none, tbc] = results[results.len() - 2..] else {
+        unreachable!()
+    };
     println!(
         "TBEGINC at {cpus} CPUs = {:.1}% of unsynchronized throughput (paper: 99.8%)",
         100.0 * tbc / none

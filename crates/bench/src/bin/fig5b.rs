@@ -5,8 +5,15 @@
 //! up to the MCM size (24 CPUs in the tested system), hold steady beyond,
 //! and win across the whole range.
 
-use ztm_bench::{cpu_counts, print_header, print_row, reference_throughput, run_pool};
+use ztm_bench::{cpu_counts, print_header, print_row, reference_throughput, run_pool, sweep};
 use ztm_workloads::pool::SyncMethod;
+
+const METHODS: [SyncMethod; 4] = [
+    SyncMethod::CoarseLock,
+    SyncMethod::FineLock,
+    SyncMethod::Tbeginc,
+    SyncMethod::Tbegin,
+];
 
 fn main() {
     println!("Fig 5(b): TX vs locks, single variable, pool size 10");
@@ -14,16 +21,14 @@ fn main() {
     println!();
     let reference = reference_throughput(42);
     print_header("CPUs", &["CoarseLock", "FineLock", "TBEGINC", "TBEGIN"]);
-    for cpus in cpu_counts() {
-        let row: Vec<f64> = [
-            SyncMethod::CoarseLock,
-            SyncMethod::FineLock,
-            SyncMethod::Tbeginc,
-            SyncMethod::Tbegin,
-        ]
+    let points: Vec<(SyncMethod, usize)> = cpu_counts()
         .into_iter()
-        .map(|m| run_pool(m, cpus, 10, 1, 42).normalized_throughput(reference))
+        .flat_map(|cpus| METHODS.map(|m| (m, cpus)))
         .collect();
-        print_row(cpus, &row);
+    let results = sweep(points, |&(m, cpus)| {
+        run_pool(m, cpus, 10, 1, 42).normalized_throughput(reference)
+    });
+    for (i, cpus) in cpu_counts().into_iter().enumerate() {
+        print_row(cpus, &results[4 * i..4 * i + 4]);
     }
 }

@@ -7,7 +7,7 @@
 //! extreme contention TBEGINC degrades more gracefully than TBEGIN because
 //! the millicode retry ladder turns speculative fetching off (§IV).
 
-use ztm_bench::{cpu_counts, print_header, print_row, reference_throughput, run_pool};
+use ztm_bench::{cpu_counts, print_header, print_row, reference_throughput, run_pool, sweep};
 use ztm_workloads::pool::SyncMethod;
 
 fn main() {
@@ -16,10 +16,21 @@ fn main() {
     println!();
     let reference = reference_throughput(42);
     print_header("CPUs", &["Lock", "TBEGINC", "TBEGIN", "abrt%C", "abrt%N"]);
-    for cpus in cpu_counts() {
-        let lock = run_pool(SyncMethod::CoarseLock, cpus, 10, 4, 42);
-        let tbc = run_pool(SyncMethod::Tbeginc, cpus, 10, 4, 42);
-        let tbn = run_pool(SyncMethod::Tbegin, cpus, 10, 4, 42);
+    let points: Vec<(SyncMethod, usize)> = cpu_counts()
+        .into_iter()
+        .flat_map(|cpus| {
+            [
+                (SyncMethod::CoarseLock, cpus),
+                (SyncMethod::Tbeginc, cpus),
+                (SyncMethod::Tbegin, cpus),
+            ]
+        })
+        .collect();
+    let results = sweep(points, |&(m, cpus)| run_pool(m, cpus, 10, 4, 42));
+    for (i, cpus) in cpu_counts().into_iter().enumerate() {
+        let [lock, tbc, tbn] = &results[3 * i..3 * i + 3] else {
+            unreachable!()
+        };
         print_row(
             cpus,
             &[

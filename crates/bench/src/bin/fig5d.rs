@@ -5,7 +5,7 @@
 //! lock-word line between CPUs and cap throughput; transactional readers
 //! share everything read-only and scale almost linearly.
 
-use ztm_bench::{cpu_counts, ops_for, print_header, print_row, quick, reference_throughput};
+use ztm_bench::{cpu_counts, ops_for, print_header, print_row, quick, reference_throughput, sweep};
 use ztm_sim::{System, SystemConfig};
 use ztm_workloads::rwlock::{ReadMethod, ReadWorkload};
 
@@ -16,16 +16,17 @@ fn main() {
     println!();
     let reference = reference_throughput(42);
     print_header("CPUs", &["R/W Lock", "TBEGINC"]);
-    for cpus in cpu_counts() {
-        let row: Vec<f64> = [ReadMethod::RwLock, ReadMethod::Tbeginc]
-            .into_iter()
-            .map(|m| {
-                let wl = ReadWorkload::new(pool, m);
-                let mut sys = System::new(SystemConfig::with_cpus(cpus).seed(42));
-                wl.run(&mut sys, ops_for(cpus))
-                    .normalized_throughput(reference)
-            })
-            .collect();
-        print_row(cpus, &row);
+    let points: Vec<(ReadMethod, usize)> = cpu_counts()
+        .into_iter()
+        .flat_map(|cpus| [(ReadMethod::RwLock, cpus), (ReadMethod::Tbeginc, cpus)])
+        .collect();
+    let results = sweep(points, |&(m, cpus)| {
+        let wl = ReadWorkload::new(pool, m);
+        let mut sys = System::new(SystemConfig::with_cpus(cpus).seed(42));
+        wl.run(&mut sys, ops_for(cpus))
+            .normalized_throughput(reference)
+    });
+    for (i, cpus) in cpu_counts().into_iter().enumerate() {
+        print_row(cpus, &results[2 * i..2 * i + 2]);
     }
 }

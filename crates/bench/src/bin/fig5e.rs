@@ -4,7 +4,8 @@
 //! threads are added; with transactional lock elision it grows almost
 //! linearly.
 
-use ztm_bench::{ops_for, print_header, print_row, quick, write_bench_json};
+use std::time::Instant;
+use ztm_bench::{ops_for, print_header, print_row, quick, sweep, write_bench_json, Timing};
 use ztm_sim::{System, SystemConfig};
 use ztm_trace::{Recorder, Tracer};
 use ztm_workloads::hashtable::{HashTable, TableMethod};
@@ -13,33 +14,55 @@ fn main() {
     println!("Fig 5(e): java/util/Hashtable-style lock elision (20% puts)");
     println!("(throughput normalized to 1 thread under the global lock)");
     println!();
-    let threads: Vec<usize> = if quick() {
-        vec![1, 2, 4, 6]
-    } else {
-        vec![1, 2, 3, 4, 5, 6, 7, 8]
+    // `ZTM_FIG5E_THREADS=a,b,c` overrides the sweep (e.g. a single 36-CPU
+    // point for scheduler-scaling measurements).
+    let threads: Vec<usize> = match std::env::var("ZTM_FIG5E_THREADS") {
+        Ok(list) => list
+            .split(',')
+            .map(|s| s.trim().parse().expect("ZTM_FIG5E_THREADS: usize list"))
+            .collect(),
+        Err(_) if quick() => vec![1, 2, 4, 6],
+        Err(_) => vec![1, 2, 3, 4, 5, 6, 7, 8],
     };
-    let run = |method, cpus: usize| {
+    // One sweep point per (method, thread-count) cell, plus the 1-thread
+    // global-lock normalization base at index 0; each worker times its run
+    // so the exported timing covers every simulation this binary does.
+    let mut points = vec![(TableMethod::GlobalLock, 1)];
+    for &n in &threads {
+        points.push((TableMethod::GlobalLock, n));
+        points.push((TableMethod::Elision, n));
+    }
+    let results = sweep(points, |&(method, cpus)| {
         let t = HashTable::new(512, 2048, 20, method);
         let mut sys = System::new(SystemConfig::with_cpus(cpus).seed(42));
+        let t0 = Instant::now();
         t.populate(&mut sys, &(0..1024).collect::<Vec<_>>());
-        t.run(&mut sys, ops_for(cpus).min(150)).throughput()
-    };
-    let base = run(TableMethod::GlobalLock, 1);
+        let rep = t.run(&mut sys, ops_for(cpus).min(150));
+        (rep.throughput(), rep.system, t0.elapsed())
+    });
+    let mut timing = Timing::default();
+    for (_, report, wall) in &results {
+        timing.add_run(*wall, report);
+    }
+    let base = results[0].0;
     print_header("threads", &["Locks", "TBEGIN"]);
     let (mut lock_top, mut elision_top) = (0.0, 0.0);
-    for &n in &threads {
-        lock_top = run(TableMethod::GlobalLock, n) / base;
-        elision_top = run(TableMethod::Elision, n) / base;
+    for (i, &n) in threads.iter().enumerate() {
+        lock_top = results[1 + 2 * i].0 / base;
+        elision_top = results[2 + 2 * i].0 / base;
         print_row(n, &[lock_top, elision_top]);
     }
-    // Re-run the widest elision point traced for the metrics trajectory.
+    // Re-run the widest elision point traced for the metrics trajectory
+    // (serial: the recorder is thread-local by construction).
     let top = *threads.last().unwrap();
     let t = HashTable::new(512, 2048, 20, TableMethod::Elision);
     let mut sys = System::new(SystemConfig::with_cpus(top).seed(42));
     let (tracer, recorder) = Tracer::recording(Recorder::DEFAULT_CAPACITY);
     sys.set_tracer(tracer);
+    let t0 = Instant::now();
     t.populate(&mut sys, &(0..1024).collect::<Vec<_>>());
     t.run(&mut sys, ops_for(top).min(150));
+    timing.add_run(t0.elapsed(), &sys.report());
     let rec = recorder.borrow();
     match write_bench_json(
         "fig5e_hashtable",
@@ -50,6 +73,7 @@ fn main() {
             ("elision_speedup", elision_top / lock_top),
         ],
         Some(&rec),
+        Some(&timing),
     ) {
         Ok(path) => println!("\nmetrics: {}", path.display()),
         Err(e) => eprintln!("metrics export failed: {e}"),

@@ -2,7 +2,7 @@
 //!
 //! The paper reports throughput exceeding locks by a factor of about 2.
 
-use ztm_bench::{ops_for, print_header, print_row, quick};
+use ztm_bench::{ops_for, print_header, print_row, quick, sweep};
 use ztm_sim::{System, SystemConfig};
 use ztm_workloads::queue::{ConcurrentQueue, QueueMethod};
 
@@ -14,17 +14,20 @@ fn main() {
     } else {
         vec![2, 4, 6, 8, 12, 16]
     };
-    let run = |method, cpus: usize| {
+    let points: Vec<(QueueMethod, usize)> = counts
+        .iter()
+        .flat_map(|&n| [(QueueMethod::Lock, n), (QueueMethod::Tbeginc, n)])
+        .collect();
+    let results = sweep(points, |&(method, cpus)| {
         let q = ConcurrentQueue::new(method);
         let mut sys = System::new(SystemConfig::with_cpus(cpus).seed(42));
         q.seed(&mut sys, 64);
         q.run(&mut sys, ops_for(cpus).min(150)).throughput()
-    };
+    });
     print_header("CPUs", &["Lock", "TBEGINC", "ratio"]);
     let mut last_ratio = 0.0;
-    for &n in &counts {
-        let lock = run(QueueMethod::Lock, n);
-        let tx = run(QueueMethod::Tbeginc, n);
+    for (i, &n) in counts.iter().enumerate() {
+        let (lock, tx) = (results[2 * i], results[2 * i + 1]);
         last_ratio = tx / lock;
         print_row(n, &[lock * 1e4, tx * 1e4, last_ratio]);
     }

@@ -5,15 +5,29 @@
 //! non-constrained transactions differ by only ~0.4% (the lock-test branch
 //! is perfectly predictable).
 
-use ztm_bench::{run_pool, run_pool_traced, write_bench_json};
+use std::time::Instant;
+use ztm_bench::{run_pool, run_pool_traced, sweep, write_bench_json, Timing};
 use ztm_workloads::pool::SyncMethod;
 
 fn main() {
     println!("E1: uncontended single-CPU overhead (pool=1, vars=1)");
     println!();
-    let lock = run_pool(SyncMethod::CoarseLock, 1, 1, 1, 42);
+    let mut timing = Timing::default();
+    let untraced = sweep(
+        vec![SyncMethod::CoarseLock, SyncMethod::Tbeginc],
+        |&method| {
+            let t0 = Instant::now();
+            let rep = run_pool(method, 1, 1, 1, 42);
+            (rep, t0.elapsed())
+        },
+    );
+    let t0 = Instant::now();
     let (tbegin, recorder) = run_pool_traced(SyncMethod::Tbegin, 1, 1, 1, 42);
-    let tbeginc = run_pool(SyncMethod::Tbeginc, 1, 1, 1, 42);
+    timing.add_run(t0.elapsed(), &tbegin.system);
+    for (rep, wall) in &untraced {
+        timing.add_run(*wall, &rep.system);
+    }
+    let (lock, tbeginc) = (&untraced[0].0, &untraced[1].0);
 
     let rows = [
         ("lock", lock.avg_op_cycles()),
@@ -41,6 +55,7 @@ fn main() {
             ("tbeginc_vs_tbegin_pct", c_vs_nc),
         ],
         Some(&rec),
+        Some(&timing),
     ) {
         Ok(path) => println!("metrics: {}", path.display()),
         Err(e) => eprintln!("metrics export failed: {e}"),

@@ -23,7 +23,9 @@
 use std::cell::RefCell;
 use std::path::PathBuf;
 use std::rc::Rc;
-use ztm_sim::{System, SystemConfig};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use ztm_sim::{System, SystemConfig, SystemReport};
 use ztm_trace::{Recorder, Tracer};
 use ztm_workloads::pool::{PoolLayout, PoolWorkload, SyncMethod};
 use ztm_workloads::WorkloadReport;
@@ -48,6 +50,74 @@ pub fn quick() -> bool {
     std::env::var("ZTM_QUICK")
         .map(|v| v == "1")
         .unwrap_or(false)
+}
+
+/// Worker-thread count for [`sweep`]: `ZTM_BENCH_THREADS` if set (≥ 1),
+/// otherwise the host's available parallelism.
+pub fn bench_threads() -> usize {
+    std::env::var("ZTM_BENCH_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
+
+/// Runs `f` over every config, fanning the points out across worker threads,
+/// and returns the results **in input order**.
+///
+/// Each point is an independent simulation: `f` constructs its own
+/// [`System`] (a `System` is not `Send` — its tracer hands out `Rc`s — so it
+/// must live and die inside the worker that runs it). Determinism is
+/// unaffected: a simulation's outcome depends only on its config and seed,
+/// never on which host thread runs it, so the result vector — and therefore
+/// the table printed from it — is byte-identical for any thread count,
+/// including 1. Workers claim points dynamically (an atomic cursor), which
+/// load-balances sweeps whose cost grows steeply with the CPU count.
+///
+/// Traced runs (those that keep a `Recorder` for metrics export) should stay
+/// outside `sweep`, since the recorder is thread-local by construction.
+pub fn sweep<C, R, F>(configs: Vec<C>, f: F) -> Vec<R>
+where
+    C: Sync,
+    R: Send,
+    F: Fn(&C) -> R + Sync,
+{
+    sweep_with(bench_threads(), configs, f)
+}
+
+/// [`sweep`] with an explicit worker count (exposed for tests).
+pub fn sweep_with<C, R, F>(threads: usize, configs: Vec<C>, f: F) -> Vec<R>
+where
+    C: Sync,
+    R: Send,
+    F: Fn(&C) -> R + Sync,
+{
+    if threads <= 1 || configs.len() <= 1 {
+        return configs.iter().map(&f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = configs.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..threads.min(configs.len()) {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(cfg) = configs.get(i) else { break };
+                *slots[i].lock().expect("sweep slot") = Some(f(cfg));
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("sweep slot")
+                .expect("every slot filled")
+        })
+        .collect()
 }
 
 /// Operations per CPU, scaled down as CPU counts grow so total work stays
@@ -87,10 +157,55 @@ pub fn run_pool_traced(
     (report, recorder)
 }
 
+/// Host-side (wall-clock) speed of a benchmark run — simulator performance,
+/// as opposed to the simulated machine's performance.
+///
+/// Accumulate one instance across every simulation a binary runs, then pass
+/// it to [`write_bench_json`]. The fields are inherently non-deterministic
+/// (they measure the host), so they serialize to a **single** `"timing"`
+/// line that comparison tooling can strip with `grep -v '"timing"'` while
+/// diffing the deterministic remainder.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Timing {
+    /// Wall-clock milliseconds spent simulating.
+    pub wall_ms: f64,
+    /// Total scheduler steps across the accumulated runs.
+    pub steps: u64,
+    /// Total simulated cycles (max core clock per run, summed over runs).
+    pub sim_cycles: u64,
+}
+
+impl Timing {
+    /// Folds one finished run into the totals.
+    pub fn add_run(&mut self, wall: std::time::Duration, report: &SystemReport) {
+        self.wall_ms += wall.as_secs_f64() * 1e3;
+        self.steps += report.steps;
+        self.sim_cycles += report.elapsed_cycles;
+    }
+
+    /// The single-line JSON value for the `"timing"` key.
+    fn json_value(&self) -> String {
+        let per_sec = |n: u64| {
+            if self.wall_ms > 0.0 {
+                n as f64 / (self.wall_ms / 1e3)
+            } else {
+                0.0
+            }
+        };
+        format!(
+            "{{ \"wall_ms\": {:.3}, \"steps_per_sec\": {:.0}, \"sim_cycles_per_sec\": {:.0} }}",
+            self.wall_ms,
+            per_sec(self.steps),
+            per_sec(self.sim_cycles)
+        )
+    }
+}
+
 /// Writes `BENCH_<name>.json` into the results directory (`ZTM_RESULTS_DIR`,
 /// default `results/`): the benchmark's headline numbers plus, when a
 /// recorder is given, the run's full [`ztm_trace::Metrics`] document — so
 /// every figure binary leaves a machine-readable perf trajectory behind.
+/// A [`Timing`], when given, lands on one `"timing"` line (see there).
 ///
 /// # Errors
 ///
@@ -99,6 +214,7 @@ pub fn write_bench_json(
     name: &str,
     headlines: &[(&str, f64)],
     recorder: Option<&Recorder>,
+    timing: Option<&Timing>,
 ) -> std::io::Result<PathBuf> {
     let dir = PathBuf::from(std::env::var("ZTM_RESULTS_DIR").unwrap_or_else(|_| "results".into()));
     std::fs::create_dir_all(&dir)?;
@@ -110,6 +226,9 @@ pub fn write_bench_json(
         .map(|(k, v)| format!("    \"{k}\": {v}"))
         .collect();
     body.push_str(&format!("  \"headlines\": {{\n{}\n  }},\n", hl.join(",\n")));
+    if let Some(t) = timing {
+        body.push_str(&format!("  \"timing\": {},\n", t.json_value()));
+    }
     match recorder {
         Some(rec) => {
             // The metrics document is itself JSON; indent it for nesting.
@@ -169,10 +288,13 @@ mod tests {
         let dir = std::env::temp_dir().join("ztm-bench-json-test");
         std::env::set_var("ZTM_RESULTS_DIR", &dir);
         let (report, recorder) = run_pool_traced(SyncMethod::Tbegin, 2, 4, 1, 7);
+        let mut timing = Timing::default();
+        timing.add_run(std::time::Duration::from_millis(5), &report.system);
         let path = write_bench_json(
             "test",
             &[("cycles_per_op", report.avg_op_cycles())],
             Some(&recorder.borrow()),
+            Some(&timing),
         )
         .unwrap();
         std::env::remove_var("ZTM_RESULTS_DIR");
@@ -180,6 +302,39 @@ mod tests {
         assert!(text.contains("\"cycles_per_op\""));
         assert!(text.contains("\"abort_codes\""), "{text}");
         assert!(text.contains("\"digest\""));
+        // The timing key must stay on one line so CI can strip it with grep.
+        let timing_lines: Vec<&str> = text.lines().filter(|l| l.contains("\"timing\"")).collect();
+        assert_eq!(timing_lines.len(), 1);
+        assert!(timing_lines[0].contains("\"steps_per_sec\""));
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sweep_returns_input_order_for_any_thread_count() {
+        let configs: Vec<usize> = (0..17).collect();
+        let serial = sweep_with(1, configs.clone(), |&c| c * 3 + 1);
+        assert_eq!(serial, (0..17).map(|c| c * 3 + 1).collect::<Vec<_>>());
+        for threads in [2, 5, 16, 64] {
+            assert_eq!(sweep_with(threads, configs.clone(), |&c| c * 3 + 1), serial);
+        }
+    }
+
+    #[test]
+    fn sweep_simulation_points_are_thread_count_independent() {
+        let configs = vec![
+            (SyncMethod::CoarseLock, 2usize),
+            (SyncMethod::Tbegin, 2),
+            (SyncMethod::Tbeginc, 3),
+        ];
+        let key = |r: &WorkloadReport| (r.throughput().to_bits(), r.system.steps);
+        let serial: Vec<_> = sweep_with(1, configs.clone(), |&(m, n)| run_pool(m, n, 4, 1, 7))
+            .iter()
+            .map(key)
+            .collect();
+        let parallel: Vec<_> = sweep_with(4, configs, |&(m, n)| run_pool(m, n, 4, 1, 7))
+            .iter()
+            .map(key)
+            .collect();
+        assert_eq!(serial, parallel);
     }
 }

@@ -3,7 +3,7 @@
 
 use crate::{ChipId, CpuId, Distance, McmId, SetAssoc, Topology, XiKind};
 use std::collections::HashMap;
-use ztm_mem::LineAddr;
+use ztm_mem::{AddrHashBuilder, LineAddr};
 use ztm_trace::{Event, Tracer};
 
 /// zEC12 L3 geometry: 48 MB / 256-byte lines / 12 ways = 16384 sets.
@@ -81,11 +81,13 @@ struct LineState {
 #[derive(Debug, Clone)]
 pub struct Fabric {
     topology: Topology,
-    lines: HashMap<LineAddr, LineState>,
+    // Address-keyed and never iterated, so the cheap [`AddrHashBuilder`]
+    // multiply-hash is unobservable (lookups are on the coherence hot path).
+    lines: HashMap<LineAddr, LineState, AddrHashBuilder>,
     /// Chips whose L3 has a copy (bit per chip).
-    l3_presence: HashMap<LineAddr, u64>,
+    l3_presence: HashMap<LineAddr, u64, AddrHashBuilder>,
     /// MCMs whose L4 has a copy (bit per MCM).
-    l4_presence: HashMap<LineAddr, u8>,
+    l4_presence: HashMap<LineAddr, u8, AddrHashBuilder>,
     /// Per-chip L3 directories (capacity modeling): an associativity
     /// overflow here evicts the line from the chip and — by the inclusivity
     /// rule — sends LRU XIs to the private caches below (§III.A).
@@ -110,9 +112,9 @@ impl Fabric {
         let chips = topology.chip_count();
         Fabric {
             topology,
-            lines: HashMap::new(),
-            l3_presence: HashMap::new(),
-            l4_presence: HashMap::new(),
+            lines: HashMap::default(),
+            l3_presence: HashMap::default(),
+            l4_presence: HashMap::default(),
             l3: (0..chips)
                 .map(|_| SetAssoc::new(l3_sets, l3_ways))
                 .collect(),

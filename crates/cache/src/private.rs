@@ -4,7 +4,6 @@
 
 use crate::store_cache::{DrainWrite, StoreCache, StoreOutcome};
 use crate::{CacheGeometry, CpuId, FootprintEvent, SetAssoc, Xi, XiKind, XiResponse};
-use std::collections::HashMap;
 use ztm_mem::{Address, LineAddr};
 use ztm_trace::{hit_level, Event, Tracer};
 
@@ -101,9 +100,32 @@ pub struct PrivateCache {
     /// instruction. The hang-avoidance threshold (§III.C) counts repeated
     /// denial of the *same* requester: a CPU that merely has a long fetch
     /// in flight rejects many different requesters once or twice each,
-    /// which is not a hang.
-    reject_counts: HashMap<CpuId, u32>,
+    /// which is not a hang. Flat per-CPU slots (indexed by CPU id, grown on
+    /// demand) validated by an epoch so that "reset all counters" — which
+    /// happens once per completed instruction — is O(1) instead of a hash
+    /// map clear.
+    reject_counts: Vec<RejectSlot>,
+    reject_epoch: u64,
+    /// Journal of lines marked tx-read during the current transaction, in
+    /// marking order (duplicates possible when a line is evicted and
+    /// re-marked). Together with `tx_dirty_marks` this bounds every
+    /// transaction-lifecycle operation by the *footprint* size instead of
+    /// the full L1/L2 directory size: the tx bits of exactly these lines
+    /// need clearing at begin/commit/abort, and only these lines can be
+    /// L2-protected. Invariant: every L1 entry with `tx_read` set appears
+    /// in this journal (and likewise for `tx_dirty`); entries whose line
+    /// left the L1 or lost its bit are stale and filtered on use.
+    tx_read_marks: Vec<LineAddr>,
+    /// Journal of lines marked tx-dirty during the current transaction.
+    tx_dirty_marks: Vec<LineAddr>,
     tracer: Tracer,
+}
+
+/// One per-requester XI-reject counter, valid only for a matching epoch.
+#[derive(Debug, Clone, Copy, Default)]
+struct RejectSlot {
+    epoch: u64,
+    count: u32,
 }
 
 impl PrivateCache {
@@ -116,9 +138,21 @@ impl PrivateCache {
             store_cache: StoreCache::new(geom.store_cache_entries),
             geom,
             in_tx: false,
-            reject_counts: HashMap::new(),
+            reject_counts: Vec::new(),
+            reject_epoch: 0,
+            tx_read_marks: Vec::new(),
+            tx_dirty_marks: Vec::new(),
             tracer: Tracer::disabled(),
         }
+    }
+
+    /// Creates a private cache unit with the XI-reject table pre-sized for
+    /// `cpus` requesters (avoids growth on the XI path; any id beyond the
+    /// pre-size still grows the table on demand).
+    pub fn with_cpu_count(geom: CacheGeometry, cpus: usize) -> Self {
+        let mut unit = Self::new(geom);
+        unit.reject_counts = vec![RejectSlot::default(); cpus];
+        unit
     }
 
     /// Attaches a tracer (also cloned into the gathering store cache, so its
@@ -153,9 +187,18 @@ impl PrivateCache {
         self.lru_ext.iter().filter(|b| **b).count()
     }
 
-    /// Number of L1 lines currently marked tx-read.
+    /// Number of L1 lines currently marked tx-read: the journal filtered by
+    /// the live L1 bits (marked lines may have been evicted since), deduped.
     pub fn tx_read_lines(&self) -> usize {
-        self.l1.iter().filter(|(_, e)| e.tx_read).count()
+        let mut lines: Vec<LineAddr> = self
+            .tx_read_marks
+            .iter()
+            .copied()
+            .filter(|&l| self.l1.peek(l).map(|e| e.tx_read).unwrap_or(false))
+            .collect();
+        lines.sort_unstable();
+        lines.dedup();
+        lines.len()
     }
 
     // ------------------------------------------------------------------
@@ -171,8 +214,8 @@ impl PrivateCache {
                     LocalHit::Miss {
                         held_read_only: true,
                     }
-                } else if self.l1.contains(line) {
-                    self.l1.get(line); // touch LRU
+                } else if self.l1.get(line).is_some() {
+                    // `get` doubles as the presence test and the LRU touch.
                     self.l2.get(line);
                     LocalHit::L1
                 } else {
@@ -239,9 +282,28 @@ impl PrivateCache {
     ) -> InstallOutcome {
         let mut out = InstallOutcome::default();
         debug_assert!(self.l2.contains(line), "local completion without L2 line");
-        if !self.l1.contains(line) {
-            self.install_l1(line, &mut out);
+        // Fast path: L1-resident — one directory scan doubling as the
+        // presence test and the mark target (same transitions as `mark`).
+        if let Some(e) = self.l1.peek_mut(line) {
+            if tx {
+                match class {
+                    AccessClass::Fetch => {
+                        if !e.tx_read {
+                            e.tx_read = true;
+                            self.tx_read_marks.push(line);
+                        }
+                    }
+                    AccessClass::Store => {
+                        if !e.tx_dirty {
+                            e.tx_dirty = true;
+                            self.tx_dirty_marks.push(line);
+                        }
+                    }
+                }
+            }
+            return out;
         }
+        self.install_l1(line, &mut out);
         self.mark(line, class, tx);
         out
     }
@@ -281,27 +343,51 @@ impl PrivateCache {
         }
     }
 
-    /// Applies tx-read / tx-dirty marking for a completed access.
+    /// Applies tx-read / tx-dirty marking for a completed access. A bit's
+    /// false→true transition is journaled so transaction-end processing can
+    /// visit exactly the marked lines.
     fn mark(&mut self, line: LineAddr, class: AccessClass, tx: bool) {
-        if let Some(e) = self.l1.peek_mut(line) {
-            if tx {
-                match class {
-                    AccessClass::Fetch => e.tx_read = true,
-                    AccessClass::Store => e.tx_dirty = true,
+        if !tx {
+            return;
+        }
+        let Some(e) = self.l1.peek_mut(line) else {
+            return;
+        };
+        match class {
+            AccessClass::Fetch => {
+                if !e.tx_read {
+                    e.tx_read = true;
+                    self.tx_read_marks.push(line);
+                }
+            }
+            AccessClass::Store => {
+                if !e.tx_dirty {
+                    e.tx_dirty = true;
+                    self.tx_dirty_marks.push(line);
                 }
             }
         }
     }
 
     /// Sorted list of lines the L2 should prefer to keep: transactional store
-    /// lines (must stay resident, §III.D) and L1 tx-read lines.
+    /// lines (must stay resident, §III.D) and L1 tx-read/tx-dirty lines.
+    /// Built from the mark journals — O(footprint), not O(L1 directory) —
+    /// filtering out journal entries whose line has since left the L1 or
+    /// lost its bit (those lines are no longer protected).
     fn l2_protected_lines(&self) -> Vec<LineAddr> {
         let mut lines = self.store_cache.tx_lines();
-        for (l, e) in self.l1.iter() {
-            if e.tx_read || e.tx_dirty {
-                lines.push(l);
-            }
-        }
+        lines.extend(
+            self.tx_read_marks
+                .iter()
+                .copied()
+                .filter(|&l| self.l1.peek(l).map(|e| e.tx_read).unwrap_or(false)),
+        );
+        lines.extend(
+            self.tx_dirty_marks
+                .iter()
+                .copied()
+                .filter(|&l| self.l1.peek(l).map(|e| e.tx_dirty).unwrap_or(false)),
+        );
         lines.sort_unstable();
         lines.dedup();
         lines
@@ -385,11 +471,7 @@ impl PrivateCache {
         // always honored.
         if footprint_hit && xi.kind.rejectable() && self.geom.stiff_arm {
             if let Some(from) = xi.from {
-                let count = {
-                    let c = self.reject_counts.entry(from).or_insert(0);
-                    *c += 1;
-                    *c
-                };
+                let count = self.bump_reject_count(from);
                 if count <= self.geom.xi_reject_threshold {
                     self.tracer.emit(|| Event::XiReject {
                         line: line.index(),
@@ -453,31 +535,67 @@ impl PrivateCache {
         }
     }
 
+    /// Increments and returns the reject count charged to `from`.
+    fn bump_reject_count(&mut self, from: CpuId) -> u32 {
+        if from.0 >= self.reject_counts.len() {
+            self.reject_counts.resize(from.0 + 1, RejectSlot::default());
+        }
+        let slot = &mut self.reject_counts[from.0];
+        if slot.epoch != self.reject_epoch {
+            *slot = RejectSlot {
+                epoch: self.reject_epoch,
+                count: 0,
+            };
+        }
+        slot.count += 1;
+        slot.count
+    }
+
     /// Resets the XI-reject counters; called whenever the CPU completes an
     /// instruction (a progressing CPU may keep stiff-arming, §III.C).
+    /// O(1): bumping the epoch invalidates every slot at once.
     pub fn note_instruction_complete(&mut self) {
-        self.reject_counts.clear();
+        self.reject_epoch += 1;
     }
 
     /// Highest per-requester reject count (for statistics/tests).
     pub fn reject_count(&self) -> u32 {
-        self.reject_counts.values().copied().max().unwrap_or(0)
+        self.reject_counts
+            .iter()
+            .filter(|s| s.epoch == self.reject_epoch)
+            .map(|s| s.count)
+            .max()
+            .unwrap_or(0)
     }
 
     // ------------------------------------------------------------------
     // Transaction lifecycle
     // ------------------------------------------------------------------
 
+    /// Clears the tx bits of every journaled line still holding one and
+    /// empties both journals — O(footprint) instead of an L1 sweep.
+    fn clear_tx_marks(&mut self) {
+        for i in 0..self.tx_read_marks.len() {
+            if let Some(e) = self.l1.peek_mut(self.tx_read_marks[i]) {
+                e.tx_read = false;
+            }
+        }
+        for i in 0..self.tx_dirty_marks.len() {
+            if let Some(e) = self.l1.peek_mut(self.tx_dirty_marks[i]) {
+                e.tx_dirty = false;
+            }
+        }
+        self.tx_read_marks.clear();
+        self.tx_dirty_marks.clear();
+    }
+
     /// Starts footprint tracking for a new outermost transaction: resets the
     /// tx bits and the LRU-extension vector, and closes pre-existing store
     /// cache entries (§III.B/§III.D).
     pub fn begin_outermost_tx(&mut self) {
         self.in_tx = true;
-        self.reject_counts.clear();
-        for (_, e) in self.l1.iter_mut() {
-            e.tx_read = false;
-            e.tx_dirty = false;
-        }
+        self.reject_epoch += 1;
+        self.clear_tx_marks();
         self.lru_ext.fill(false);
         self.store_cache.begin_tx();
     }
@@ -486,10 +604,7 @@ impl PrivateCache {
     /// the buffered stores for application to committed memory.
     pub fn commit_tx(&mut self) -> Vec<DrainWrite> {
         self.in_tx = false;
-        for (_, e) in self.l1.iter_mut() {
-            e.tx_read = false;
-            e.tx_dirty = false;
-        }
+        self.clear_tx_marks();
         self.lru_ext.fill(false);
         self.store_cache.commit_tx()
     }
@@ -499,18 +614,21 @@ impl PrivateCache {
     /// stores, and returns the NTSTG writes that must still be committed.
     pub fn abort_tx(&mut self) -> Vec<DrainWrite> {
         self.in_tx = false;
-        let dirty: Vec<LineAddr> = self
-            .l1
-            .iter()
-            .filter(|(_, e)| e.tx_dirty)
-            .map(|(l, _)| l)
-            .collect();
-        for line in dirty {
-            self.l1.remove(line);
+        for i in 0..self.tx_dirty_marks.len() {
+            let line = self.tx_dirty_marks[i];
+            // Journal entries can be stale: only remove lines whose live L1
+            // entry still carries the dirty bit.
+            if self.l1.peek(line).map(|e| e.tx_dirty).unwrap_or(false) {
+                self.l1.remove(line);
+            }
         }
-        for (_, e) in self.l1.iter_mut() {
-            e.tx_read = false;
+        self.tx_dirty_marks.clear();
+        for i in 0..self.tx_read_marks.len() {
+            if let Some(e) = self.l1.peek_mut(self.tx_read_marks[i]) {
+                e.tx_read = false;
+            }
         }
+        self.tx_read_marks.clear();
         self.lru_ext.fill(false);
         self.store_cache.abort_tx()
     }

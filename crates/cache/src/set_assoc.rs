@@ -33,9 +33,28 @@ struct Slot<E> {
 /// ```
 #[derive(Debug, Clone)]
 pub struct SetAssoc<E> {
-    sets: Vec<Vec<Slot<E>>>,
+    /// Flat `sets × ways` slot storage: row `c` occupies
+    /// `slots[c*ways .. (c+1)*ways]`. One contiguous allocation — a lookup
+    /// touches a single row instead of chasing a per-set `Vec` — with the
+    /// invariant that each row's occupied slots form a compacted prefix
+    /// (every `Some` precedes every `None`), so scans stop at the first
+    /// empty slot. Slot order within a row reproduces the push/swap-remove
+    /// order a per-set `Vec` would have.
+    slots: Vec<Option<Slot<E>>>,
+    sets: usize,
     ways: usize,
+    /// `sets - 1` when `sets` is a power of two (the common geometries); the
+    /// class is then a mask instead of a `u64` modulo on every access.
+    pow2_mask: Option<u64>,
     stamp: u64,
+    /// Most-recently-touched slot `(line, flat slot index)` — the O(1) fast
+    /// path for the repeated same-line lookups of spin loops. Invariant:
+    /// when set, that slot holds `line` AND `line` carries the
+    /// directory-wide maximum LRU stamp (it was set by the most recent
+    /// `get`/`insert`), so serving a repeat `get` from it without
+    /// re-stamping cannot change any row's relative LRU order. Any
+    /// remove or slot move invalidates it.
+    hot: Option<(LineAddr, usize)>,
 }
 
 impl<E> SetAssoc<E> {
@@ -47,15 +66,18 @@ impl<E> SetAssoc<E> {
     pub fn new(sets: usize, ways: usize) -> Self {
         assert!(sets > 0 && ways > 0, "geometry must be non-zero");
         SetAssoc {
-            sets: (0..sets).map(|_| Vec::with_capacity(ways)).collect(),
+            slots: (0..sets * ways).map(|_| None).collect(),
+            sets,
             ways,
+            pow2_mask: sets.is_power_of_two().then(|| sets as u64 - 1),
             stamp: 0,
+            hot: None,
         }
     }
 
     /// Number of congruence classes.
     pub fn sets(&self) -> usize {
-        self.sets.len()
+        self.sets
     }
 
     /// Associativity.
@@ -65,7 +87,10 @@ impl<E> SetAssoc<E> {
 
     /// The congruence class of a line in this directory.
     pub fn class_of(&self, line: LineAddr) -> usize {
-        line.congruence_class(self.sets.len())
+        match self.pow2_mask {
+            Some(mask) => (line.index() & mask) as usize,
+            None => line.congruence_class(self.sets),
+        }
     }
 
     fn next_stamp(&mut self) -> u64 {
@@ -73,28 +98,68 @@ impl<E> SetAssoc<E> {
         self.stamp
     }
 
+    fn row(&self, class: usize) -> &[Option<Slot<E>>] {
+        &self.slots[class * self.ways..(class + 1) * self.ways]
+    }
+
+    fn row_mut(&mut self, class: usize) -> &mut [Option<Slot<E>>] {
+        let ways = self.ways;
+        &mut self.slots[class * ways..(class + 1) * ways]
+    }
+
     /// Looks up a line without touching LRU state.
     pub fn peek(&self, line: LineAddr) -> Option<&E> {
-        self.sets[self.class_of(line)]
+        if let Some((hot_line, idx)) = self.hot {
+            if hot_line == line {
+                return self.slots[idx].as_ref().map(|s| &s.entry);
+            }
+        }
+        self.row(self.class_of(line))
             .iter()
+            .map_while(|s| s.as_ref())
             .find(|s| s.line == line)
             .map(|s| &s.entry)
     }
 
     /// Looks up a line, marking it most-recently-used.
     pub fn get(&mut self, line: LineAddr) -> Option<&mut E> {
+        if let Some((hot_line, idx)) = self.hot {
+            if hot_line == line {
+                // Already the directory-wide MRU (see `hot`): re-stamping
+                // would not change any relative order, so skip it.
+                return self.slots[idx].as_mut().map(|s| &mut s.entry);
+            }
+        }
         let stamp = self.next_stamp();
         let class = self.class_of(line);
-        let slot = self.sets[class].iter_mut().find(|s| s.line == line)?;
-        slot.lru = stamp;
-        Some(&mut slot.entry)
+        let ways = self.ways;
+        let base = class * ways;
+        for at in base..base + ways {
+            match self.slots[at].as_mut() {
+                Some(slot) if slot.line == line => {
+                    slot.lru = stamp;
+                    self.hot = Some((line, at));
+                    // Re-borrow to satisfy the borrow checker.
+                    return self.slots[at].as_mut().map(|s| &mut s.entry);
+                }
+                Some(_) => {}
+                None => break,
+            }
+        }
+        None
     }
 
     /// Mutable lookup without touching LRU state.
     pub fn peek_mut(&mut self, line: LineAddr) -> Option<&mut E> {
+        if let Some((hot_line, idx)) = self.hot {
+            if hot_line == line {
+                return self.slots[idx].as_mut().map(|s| &mut s.entry);
+            }
+        }
         let class = self.class_of(line);
-        self.sets[class]
+        self.row_mut(class)
             .iter_mut()
+            .map_while(|s| s.as_mut())
             .find(|s| s.line == line)
             .map(|s| &mut s.entry)
     }
@@ -124,56 +189,83 @@ impl<E> SetAssoc<E> {
         );
         let stamp = self.next_stamp();
         let class = self.class_of(line);
-        let set = &mut self.sets[class];
-        let evicted = if set.len() == self.ways {
-            let victim = set
+        // Slots may move below and a victim may leave; the new line becomes
+        // the MRU either way.
+        self.hot = None;
+        let row = self.row_mut(class);
+        let filled = row.iter().take_while(|s| s.is_some()).count();
+        let (evicted, at) = if filled == row.len() {
+            let victim = row
                 .iter()
                 .enumerate()
-                .min_by_key(|(_, s)| (evict_priority(s.line, &s.entry), s.lru))
+                .min_by_key(|(_, s)| {
+                    let s = s.as_ref().expect("full row has no empty slots");
+                    (evict_priority(s.line, &s.entry), s.lru)
+                })
                 .map(|(i, _)| i)
                 .expect("full set is non-empty");
-            let slot = set.swap_remove(victim);
-            Some((slot.line, slot.entry))
+            let slot = row[victim].take().expect("victim slot is occupied");
+            // Compact like `Vec::swap_remove`: the last slot fills the hole.
+            if victim != filled - 1 {
+                row[victim] = row[filled - 1].take();
+            }
+            (Some((slot.line, slot.entry)), filled - 1)
         } else {
-            None
+            (None, filled)
         };
-        set.push(Slot {
+        row[at] = Some(Slot {
             line,
             lru: stamp,
             entry,
         });
+        self.hot = Some((line, class * self.ways + at));
         evicted
     }
 
     /// Removes a line, returning its entry.
     pub fn remove(&mut self, line: LineAddr) -> Option<E> {
+        self.hot = None;
         let class = self.class_of(line);
-        let set = &mut self.sets[class];
-        let idx = set.iter().position(|s| s.line == line)?;
-        Some(set.swap_remove(idx).entry)
+        let row = self.row_mut(class);
+        let filled = row.iter().take_while(|s| s.is_some()).count();
+        let idx = row[..filled]
+            .iter()
+            .position(|s| s.as_ref().expect("prefix slot is occupied").line == line)?;
+        let slot = row[idx].take().expect("found slot is occupied");
+        // Compact like `Vec::swap_remove`.
+        if idx != filled - 1 {
+            row[idx] = row[filled - 1].take();
+        }
+        Some(slot.entry)
     }
 
     /// Iterates over `(line, entry)` pairs of one congruence class.
     pub fn iter_class(&self, class: usize) -> impl Iterator<Item = (LineAddr, &E)> {
-        self.sets[class].iter().map(|s| (s.line, &s.entry))
+        self.row(class)
+            .iter()
+            .map_while(|s| s.as_ref())
+            .map(|s| (s.line, &s.entry))
     }
 
     /// Iterates over all `(line, entry)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (LineAddr, &E)> {
-        self.sets.iter().flatten().map(|s| (s.line, &s.entry))
+        self.slots
+            .iter()
+            .filter_map(|s| s.as_ref())
+            .map(|s| (s.line, &s.entry))
     }
 
     /// Mutable iteration over all `(line, entry)` pairs.
     pub fn iter_mut(&mut self) -> impl Iterator<Item = (LineAddr, &mut E)> {
-        self.sets
+        self.slots
             .iter_mut()
-            .flatten()
+            .filter_map(|s| s.as_mut())
             .map(|s| (s.line, &mut s.entry))
     }
 
     /// Number of resident lines.
     pub fn len(&self) -> usize {
-        self.sets.iter().map(Vec::len).sum()
+        self.slots.iter().filter(|s| s.is_some()).count()
     }
 
     /// Whether the directory holds no lines.

@@ -101,6 +101,11 @@ pub struct StoreCache {
     entries: Vec<Entry>,
     capacity: usize,
     next_age: u64,
+    /// Sorted, deduplicated cache of the lines carried by active
+    /// transactional entries. Maintained incrementally (allocation on new
+    /// tx entries, wholesale clear on commit/abort) so the per-XI conflict
+    /// probe is a binary search instead of rebuilding a `Vec` per XI.
+    tx_line_cache: Vec<LineAddr>,
     tracer: Tracer,
 }
 
@@ -116,6 +121,7 @@ impl StoreCache {
             entries: Vec::with_capacity(capacity),
             capacity,
             next_age: 0,
+            tx_line_cache: Vec::new(),
             tracer: Tracer::disabled(),
         }
     }
@@ -223,6 +229,12 @@ impl StoreCache {
         };
         self.next_age += 1;
         e.data[offset..offset + bytes.len()].copy_from_slice(bytes);
+        if tx {
+            let line = half.line();
+            if let Err(at) = self.tx_line_cache.binary_search(&line) {
+                self.tx_line_cache.insert(at, line);
+            }
+        }
         self.entries.push(e);
         self.tracer.emit(|| Event::StoreNewEntry {
             line: half.line().index(),
@@ -271,6 +283,7 @@ impl StoreCache {
                 bytes: w.byte_count() as u16,
             });
         }
+        self.tx_line_cache.clear();
         writes
     }
 
@@ -298,15 +311,16 @@ impl StoreCache {
                 bytes: w.byte_count() as u16,
             });
         }
+        self.tx_line_cache.clear();
         writes
     }
 
     /// Whether an exclusive or demote XI for `line` compares against an
     /// active transactional entry (and must therefore be rejected, §III.D).
+    /// A binary search over the maintained tx-line cache — the hot probe on
+    /// every delivered XI.
     pub fn xi_conflicts(&self, line: LineAddr) -> bool {
-        self.entries
-            .iter()
-            .any(|e| e.tx && e.half_line.line() == line)
+        self.tx_line_cache.binary_search(&line).is_ok()
     }
 
     /// Drains (drops) non-transactional entries for `line`. Called when the
@@ -319,32 +333,32 @@ impl StoreCache {
         self.entries.retain(|e| e.tx || e.half_line.line() != line);
     }
 
-    /// Distinct cache lines carrying transactional store data. These must
-    /// stay L2-resident for the duration of the transaction (§III.D).
+    /// Distinct cache lines carrying transactional store data, sorted. These
+    /// must stay L2-resident for the duration of the transaction (§III.D).
     pub fn tx_lines(&self) -> Vec<LineAddr> {
-        let mut lines: Vec<LineAddr> = self
-            .entries
-            .iter()
-            .filter(|e| e.tx)
-            .map(|e| e.half_line.line())
-            .collect();
-        lines.sort_unstable();
-        lines.dedup();
-        lines
+        self.tx_line_cache.clone()
     }
 
     /// Overlays buffered store data onto `buf` for a load of `buf.len()`
     /// bytes at `addr` (store forwarding). Only transactional entries can
     /// differ from committed memory, but all valid bytes are applied.
     pub fn forward(&self, addr: Address, buf: &mut [u8]) {
-        for (i, b) in buf.iter_mut().enumerate() {
-            let a = addr.add(i as u64);
-            let half = a.half_line();
-            let off = a.offset_in_half_line() as usize;
-            // Later (younger) entries win; iterate in age order.
-            for e in self.entries.iter().filter(|e| e.half_line == half) {
+        let start = addr.raw();
+        let end = start + buf.len() as u64;
+        // One pass in age order (later, younger entries win), applying each
+        // entry's overlap with the load — O(entries + len) rather than
+        // O(entries × len).
+        for e in &self.entries {
+            let base = e.half_line.base().raw();
+            if base >= end || base + HALF_LINE_SIZE <= start {
+                continue;
+            }
+            let lo = start.max(base);
+            let hi = end.min(base + HALF_LINE_SIZE);
+            for a in lo..hi {
+                let off = (a - base) as usize;
                 if e.valid >> off & 1 == 1 {
-                    *b = e.data[off];
+                    buf[(a - start) as usize] = e.data[off];
                 }
             }
         }

@@ -2,6 +2,40 @@
 
 use crate::{Address, LineAddr, LINE_SIZE};
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A multiplicative hasher for the simulator's internal address-keyed maps.
+///
+/// Line/page indices are dense, low-entropy, and simulator-internal (never
+/// attacker-controlled), so the DoS hardening of the default SipHash buys
+/// nothing — and the line map is consulted on every simulated load/store.
+/// A single Fibonacci multiply mixes the low bits of a line index into the
+/// high bits that the hash table's control bytes are taken from.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AddrHasher(u64);
+
+/// `BuildHasher` for [`AddrHasher`], usable with `HashMap::with_hasher`.
+pub type AddrHashBuilder = BuildHasherDefault<AddrHasher>;
+
+impl Hasher for AddrHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        }
+    }
+
+    fn write_u64(&mut self, n: u64) {
+        self.0 = (self.0 ^ n).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    }
+
+    fn write_usize(&mut self, n: usize) {
+        self.write_u64(n as u64);
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
 
 /// The committed (architecturally visible) memory of the simulated system.
 ///
@@ -25,7 +59,7 @@ use std::collections::HashMap;
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct MainMemory {
-    lines: HashMap<LineAddr, Box<[u8; LINE_SIZE as usize]>>,
+    lines: HashMap<LineAddr, Box<[u8; LINE_SIZE as usize]>, AddrHashBuilder>,
 }
 
 impl MainMemory {
@@ -39,26 +73,36 @@ impl MainMemory {
         self.lines.len()
     }
 
-    /// Reads `buf.len()` bytes starting at `addr`. The access may span lines.
+    /// Reads `buf.len()` bytes starting at `addr`. The access may span lines;
+    /// each line touched costs one map lookup.
     pub fn load_bytes(&self, addr: Address, buf: &mut [u8]) {
-        for (i, b) in buf.iter_mut().enumerate() {
+        let mut i = 0;
+        while i < buf.len() {
             let a = addr.add(i as u64);
-            *b = match self.lines.get(&a.line()) {
-                Some(line) => line[a.offset_in_line() as usize],
-                None => 0,
-            };
+            let off = a.offset_in_line() as usize;
+            let n = (LINE_SIZE as usize - off).min(buf.len() - i);
+            match self.lines.get(&a.line()) {
+                Some(line) => buf[i..i + n].copy_from_slice(&line[off..off + n]),
+                None => buf[i..i + n].fill(0),
+            }
+            i += n;
         }
     }
 
-    /// Writes `buf` starting at `addr`. The access may span lines.
+    /// Writes `buf` starting at `addr`. The access may span lines; each line
+    /// touched costs one map lookup.
     pub fn store_bytes(&mut self, addr: Address, buf: &[u8]) {
-        for (i, b) in buf.iter().enumerate() {
+        let mut i = 0;
+        while i < buf.len() {
             let a = addr.add(i as u64);
+            let off = a.offset_in_line() as usize;
+            let n = (LINE_SIZE as usize - off).min(buf.len() - i);
             let line = self
                 .lines
                 .entry(a.line())
                 .or_insert_with(|| Box::new([0u8; LINE_SIZE as usize]));
-            line[a.offset_in_line() as usize] = *b;
+            line[off..off + n].copy_from_slice(&buf[i..i + n]);
+            i += n;
         }
     }
 

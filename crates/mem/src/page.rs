@@ -48,6 +48,11 @@ impl PageTable {
     ///
     /// Returns [`MemFault::PageFault`] if the page has been evicted.
     pub fn check(&self, addr: Address) -> Result<(), MemFault> {
+        // Benchmarks never evict, so the common case is an empty set; skip
+        // the hash entirely rather than paying SipHash on every access.
+        if self.evicted.is_empty() {
+            return Ok(());
+        }
         let page = addr.page();
         if self.evicted.contains(&page) {
             Err(MemFault::PageFault(page))

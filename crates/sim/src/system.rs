@@ -6,6 +6,8 @@ use crate::config::SystemConfig;
 use crate::report::SystemReport;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use std::sync::Arc;
 use ztm_cache::{
     AccessClass, CohState, CpuId, Fabric, FetchKind, FootprintEvent, LocalHit, PrivateCache, Xi,
@@ -93,6 +95,15 @@ pub struct System {
     programs: Vec<Option<Arc<Program>>>,
     /// CPU currently holding the broadcast-stop quiesce (§III.E).
     quiesce: Option<usize>,
+    /// Lazy scheduling heap of `(clock, cpu)` candidates. Invariant: every
+    /// CPU that is running, has a program, and is not the quiesce holder has
+    /// at least one entry carrying its *current* clock; entries whose clock
+    /// no longer matches the CPU (or whose CPU halted) are stale and are
+    /// skipped on pop. This makes picking the next CPU O(log n) instead of
+    /// the former O(n) scan per instruction. Entries are `(clock, cpu)`
+    /// packed into one `u64` (see [`Self::pack_entry`]) so heap sifts
+    /// compare single words.
+    ready: BinaryHeap<Reverse<u64>>,
     /// Per-MCM fabric channel: the virtual time until which it is busy.
     fabric_busy: Vec<u64>,
     /// CPUs whose steps are being traced.
@@ -111,7 +122,7 @@ impl System {
         let cpus = config.topology.cpus();
         let nodes = (0..cpus)
             .map(|i| Node {
-                cache: PrivateCache::new(config.geometry.clone()),
+                cache: PrivateCache::with_cpu_count(config.geometry.clone(), cpus),
                 icache: ztm_cache::SetAssoc::new(64, 4),
                 engine: TxEngine::new(config.engine.clone()),
                 rng: SmallRng::seed_from_u64(
@@ -134,6 +145,7 @@ impl System {
             cores: (0..cpus).map(|_| CpuCore::new()).collect(),
             programs: vec![None; cpus],
             quiesce: None,
+            ready: BinaryHeap::with_capacity(cpus + 1),
             fabric_busy: vec![0; config.topology.mcm_count().max(1)],
             traced: vec![false; cpus],
             trace: std::collections::VecDeque::new(),
@@ -202,13 +214,17 @@ impl System {
     /// Loads a program onto one CPU.
     pub fn load_program(&mut self, cpu: usize, prog: &Program) {
         self.programs[cpu] = Some(Arc::new(prog.clone()));
+        self.ready
+            .push(Reverse(Self::pack_entry(self.cores[cpu].clock, cpu)));
     }
 
     /// Loads the same program onto every CPU.
     pub fn load_program_all(&mut self, prog: &Program) {
         let p = Arc::new(prog.clone());
-        for slot in &mut self.programs {
-            *slot = Some(Arc::clone(&p));
+        for cpu in 0..self.programs.len() {
+            self.programs[cpu] = Some(Arc::clone(&p));
+            self.ready
+                .push(Reverse(Self::pack_entry(self.cores[cpu].clock, cpu)));
         }
     }
 
@@ -259,19 +275,71 @@ impl System {
         out
     }
 
+    /// Packs a `(clock, cpu)` scheduling candidate into one `u64` whose
+    /// natural ordering matches the tuple's: smallest clock first, ties
+    /// toward the lowest CPU index. Clocks fit comfortably in 48 bits (a
+    /// simulation would need ~3 × 10¹⁴ cycles to overflow).
+    fn pack_entry(clock: u64, cpu: usize) -> u64 {
+        debug_assert!(clock < 1 << 48 && cpu < 1 << 16);
+        clock << 16 | cpu as u64
+    }
+
+    fn unpack_entry(entry: u64) -> (u64, usize) {
+        (entry >> 16, (entry & 0xffff) as usize)
+    }
+
+    /// Whether a heap entry still describes a schedulable CPU at that clock.
+    fn entry_fresh(&self, clock: u64, cpu: usize) -> bool {
+        self.cores[cpu].is_running()
+            && self.programs[cpu].is_some()
+            && self.cores[cpu].clock == clock
+    }
+
+    /// The smallest local clock among runnable CPUs (discarding stale heap
+    /// entries), or `None` when every CPU has halted. A broadcast-stop
+    /// holder is scheduled outside the heap, so its clock is merged in
+    /// explicitly.
+    fn peek_next_clock(&mut self) -> Option<u64> {
+        let holder = match self.quiesce {
+            Some(h) if self.cores[h].is_running() && self.programs[h].is_some() => {
+                Some(self.cores[h].clock)
+            }
+            _ => None,
+        };
+        let queued = self.peek_fresh_entry().map(|e| Self::unpack_entry(e).0);
+        match (holder, queued) {
+            (Some(h), Some(q)) => Some(h.min(q)),
+            (h, q) => h.or(q),
+        }
+    }
+
+    /// Discards stale entries from the top of the heap and returns the
+    /// packed entry of the runnable CPU with the smallest `(clock, cpu)` —
+    /// ties break toward the lowest CPU index, exactly like the former
+    /// linear scan. The entry is *left on the heap*: `step_one` refreshes it
+    /// in place after the step (one sift instead of a pop + push).
+    fn peek_fresh_entry(&mut self) -> Option<u64> {
+        loop {
+            let &Reverse(entry) = self.ready.peek()?;
+            let (clock, cpu) = Self::unpack_entry(entry);
+            if self.entry_fresh(clock, cpu) {
+                return Some(entry);
+            }
+            self.ready.pop();
+        }
+    }
+
     /// Steps the runnable CPU with the smallest local clock. Returns the
     /// CPU index and outcome, or `None` when every CPU has halted.
     pub fn step_one(&mut self) -> Option<(usize, StepOutcome)> {
-        let i = match self.quiesce {
-            Some(holder) if self.cores[holder].is_running() => holder,
+        // `my_entry` is the (still-enqueued) heap entry the CPU was
+        // scheduled from; a broadcast-stop holder bypasses the heap.
+        let (i, my_entry) = match self.quiesce {
+            Some(holder) if self.cores[holder].is_running() => (holder, None),
             _ => {
                 self.quiesce = None;
-                self.cores
-                    .iter()
-                    .enumerate()
-                    .filter(|(i, c)| c.is_running() && self.programs[*i].is_some())
-                    .min_by_key(|(_, c)| c.clock)
-                    .map(|(i, _)| i)?
+                let entry = self.peek_fresh_entry()?;
+                (Self::unpack_entry(entry).1, Some(entry))
             }
         };
 
@@ -283,12 +351,12 @@ impl System {
             }
         }
 
-        let prog = Arc::clone(self.programs[i].as_ref().expect("program loaded"));
+        let prog: &Arc<Program> = self.programs[i].as_ref().expect("program loaded");
         self.tracer.set_clock(self.cores[i].clock);
         let mut view = View {
             cpu: i,
             now: self.cores[i].clock,
-            tracer: self.tracer.for_cpu(i as u16),
+            tracer: &self.tracer,
             nodes: &mut self.nodes,
             fabric: &mut self.fabric,
             mem: &mut self.mem,
@@ -298,7 +366,7 @@ impl System {
         };
         let traced = self.traced[i];
         let (pre_clock, pre_pc) = (self.cores[i].clock, self.cores[i].pc);
-        let out = ztm_isa::step(&mut self.cores[i], &prog, &mut view);
+        let out = ztm_isa::step(&mut self.cores[i], prog, &mut view);
         self.steps += 1;
         if traced {
             if self.trace.len() == self.trace_capacity {
@@ -328,15 +396,48 @@ impl System {
         if self.quiesce == Some(i) && !self.cores[i].is_running() {
             self.release_quiesce(i);
         }
+        // Keep this CPU's heap entry fresh. While it holds the quiesce it is
+        // scheduled directly (its stale entry is skipped lazily), so pushing
+        // waits until the quiesce releases — the release path falls through
+        // here. When the CPU was scheduled from the heap and its (now stale)
+        // entry is still on top, refresh it in place: one sift-down instead
+        // of a pop + push. (A release_quiesce above may have pushed other
+        // entries, so the top is re-checked rather than assumed.)
+        if self.quiesce != Some(i) && self.cores[i].is_running() {
+            let fresh = Reverse(Self::pack_entry(self.cores[i].clock, i));
+            let mut replaced = false;
+            if let Some(mut top) = self.ready.peek_mut() {
+                if Some(top.0) == my_entry {
+                    *top = fresh;
+                    replaced = true;
+                }
+            }
+            if !replaced {
+                self.ready.push(fresh);
+            }
+        } else if let Some(entry) = my_entry {
+            // The stepped CPU halted or took the quiesce: drop its entry
+            // eagerly while it is still (usually) on top.
+            if let Some(top) = self.ready.peek_mut() {
+                if top.0 == entry {
+                    std::collections::binary_heap::PeekMut::pop(top);
+                }
+            }
+        }
         Some((i, out))
     }
 
     fn release_quiesce(&mut self, holder: usize) {
         self.quiesce = None;
         let t = self.cores[holder].clock;
-        for (j, core) in self.cores.iter_mut().enumerate() {
-            if j != holder && core.is_running() {
-                core.clock = core.clock.max(t);
+        for j in 0..self.cores.len() {
+            if j == holder || !self.cores[j].is_running() || self.cores[j].clock >= t {
+                continue;
+            }
+            self.cores[j].clock = t;
+            // The bumped clock invalidates the CPU's heap entries.
+            if self.programs[j].is_some() {
+                self.ready.push(Reverse(Self::pack_entry(t, j)));
             }
         }
     }
@@ -359,14 +460,7 @@ impl System {
     /// Runs until every running CPU's clock reaches `horizon` (or all halt).
     pub fn run_for_cycles(&mut self, horizon: u64) {
         loop {
-            let next = self
-                .cores
-                .iter()
-                .enumerate()
-                .filter(|(i, c)| c.is_running() && self.programs[*i].is_some())
-                .map(|(_, c)| c.clock)
-                .min();
-            match next {
+            match self.peek_next_clock() {
                 Some(t) if t < horizon => {
                     if self.step_one().is_none() {
                         return;
@@ -432,7 +526,7 @@ struct View<'a> {
     /// The stepped CPU's local clock at instruction start (for fabric
     /// bandwidth queueing).
     now: u64,
-    tracer: Tracer,
+    tracer: &'a Tracer,
     nodes: &'a mut [Node],
     fabric: &'a mut Fabric,
     mem: &'a mut MainMemory,
@@ -480,7 +574,8 @@ impl View<'_> {
         let start = self.now.max(self.fabric_busy[mcm]);
         self.fabric_busy[mcm] = start + self.config.fabric_occupancy;
         let queued = start - self.now;
-        self.tracer.emit(|| Event::FabricOccupy { queued });
+        self.tracer
+            .emit_at(self.cpu as u16, || Event::FabricOccupy { queued });
         queued
     }
 

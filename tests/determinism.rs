@@ -1,0 +1,69 @@
+//! Cycle-for-cycle determinism regressions for the event-heap scheduler.
+//!
+//! The two digests below are the ones committed in `results/BENCH_*.json`
+//! when the simulator still used the per-step linear scan over all cores.
+//! The heap-based scheduler (and every bookkeeping optimization since) must
+//! reproduce them bit-for-bit: any scheduling or coherence divergence —
+//! a different CPU picked on a clock tie, a stale heap entry acted on, a
+//! missed quiesce clock bump — lands here before it lands in a figure.
+
+use ztm::sim::{System, SystemConfig};
+use ztm::trace::{Recorder, Tracer};
+use ztm::workloads::hashtable::{HashTable, TableMethod};
+use ztm::workloads::pool::{PoolLayout, PoolWorkload, SyncMethod};
+
+/// `results/BENCH_E1_uncontended.json`: TBEGIN, 1 CPU, pool 1, 400 ops
+/// (the default-mode op count of the `fig_uncontended` binary).
+const E1_DIGEST: u64 = 0xb6c503adfc7f7c55;
+
+/// `results/BENCH_fig5e_hashtable.json`: lock-elided hashtable, 6 CPUs,
+/// 1024 keys, 150 ops/CPU (the quick-mode traced point of `fig5e`).
+const FIG5E_DIGEST: u64 = 0x6a19de9389368382;
+
+#[test]
+fn e1_trace_digest_matches_the_committed_baseline() {
+    let wl = PoolWorkload::new(PoolLayout::new(1, 1), SyncMethod::Tbegin, 42);
+    let mut sys = System::new(SystemConfig::with_cpus(1).seed(42));
+    let (tracer, recorder) = Tracer::recording(Recorder::DEFAULT_CAPACITY);
+    sys.set_tracer(tracer);
+    wl.run(&mut sys, 400);
+    assert_eq!(recorder.borrow().digest(), E1_DIGEST);
+}
+
+#[test]
+fn fig5e_trace_digest_matches_the_committed_baseline() {
+    let t = HashTable::new(512, 2048, 20, TableMethod::Elision);
+    let mut sys = System::new(SystemConfig::with_cpus(6).seed(42));
+    let (tracer, recorder) = Tracer::recording(Recorder::DEFAULT_CAPACITY);
+    sys.set_tracer(tracer);
+    t.populate(&mut sys, &(0..1024).collect::<Vec<_>>());
+    t.run(&mut sys, 150);
+    assert_eq!(recorder.borrow().digest(), FIG5E_DIGEST);
+}
+
+/// Broadcast-stop quiesce (§III.E) under the heap scheduler: the quiescing
+/// core is scheduled *outside* the heap while every other core's entry goes
+/// stale, and `release_quiesce` re-enters them with bumped clocks. The
+/// adversarial cross-holding kernel from the E4 ablation reliably escalates
+/// to the broadcast stage; two identically seeded runs must agree exactly.
+#[test]
+fn quiesce_under_heap_scheduling_is_exercised_and_deterministic() {
+    let run = || {
+        let mut sys = System::new(SystemConfig::with_cpus(16).seed(42));
+        let (tracer, recorder) = Tracer::recording(Recorder::DEFAULT_CAPACITY);
+        sys.set_tracer(tracer);
+        let wl = PoolWorkload::new(PoolLayout::new(8, 2), SyncMethod::Tbeginc, 42);
+        let rep = wl.run(&mut sys, 80);
+        let digest = recorder.borrow().digest();
+        (
+            rep.system.tx.broadcast_stops,
+            rep.committed_ops(),
+            rep.system.steps,
+            digest,
+        )
+    };
+    let a = run();
+    assert!(a.0 > 0, "kernel must escalate to broadcast-stop: {a:?}");
+    assert!(a.1 > 0, "every CPU must finish its ops: {a:?}");
+    assert_eq!(a, run());
+}
