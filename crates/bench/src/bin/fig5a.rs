@@ -6,8 +6,10 @@
 //! threshold but still beats the lock. At 100 CPUs, TBEGINC on the large
 //! pool reaches ~99.8% of the unsynchronized upper bound.
 
+use std::time::Instant;
 use ztm_bench::{
-    cpu_counts, print_header, print_row, quick, reference_throughput, run_pool, sweep,
+    bench_tag, cpu_counts, print_header, print_row, quick, reference_throughput, run_pool, sweep,
+    write_bench_json, Timing,
 };
 use ztm_workloads::pool::SyncMethod;
 
@@ -55,23 +57,48 @@ fn main() {
     let top = *cpu_counts().last().expect("non-empty sweep");
     points.push((SyncMethod::None, top, pools[1]));
     points.push((SyncMethod::Tbeginc, top, pools[1]));
-    let results = sweep(points, |&(method, cpus, pool)| {
-        run_pool(method, cpus, pool, 4, 42).throughput()
+    let timed = sweep(points, |&(method, cpus, pool)| {
+        let t0 = Instant::now();
+        let rep = run_pool(method, cpus, pool, 4, 42);
+        (rep.throughput(), rep.system, t0.elapsed())
     });
+    let mut timing = Timing::default();
+    for (_, report, wall) in &timed {
+        timing.add_run(*wall, report);
+    }
+    let results: Vec<f64> = timed.iter().map(|(t, _, _)| *t).collect();
+    let mut top_row = Vec::new();
     for (i, cpus) in cpu_counts().into_iter().enumerate() {
         let row: Vec<f64> = results[6 * i..6 * i + 6]
             .iter()
             .map(|t| 100.0 * t / reference)
             .collect();
         print_row(cpus, &row);
+        top_row = row;
     }
     println!();
     let cpus = top;
     let [none, tbc] = results[results.len() - 2..] else {
         unreachable!()
     };
-    println!(
-        "TBEGINC at {cpus} CPUs = {:.1}% of unsynchronized throughput (paper: 99.8%)",
-        100.0 * tbc / none
-    );
+    let tbc_pct = 100.0 * tbc / none;
+    println!("TBEGINC at {cpus} CPUs = {tbc_pct:.1}% of unsynchronized throughput (paper: 99.8%)",);
+    match write_bench_json(
+        &bench_tag("fig5a_pools"),
+        &[
+            ("cpus_max", cpus as f64),
+            ("lock_small_pool", top_row[0]),
+            ("tbeginc_small_pool", top_row[1]),
+            ("tbegin_small_pool", top_row[2]),
+            ("lock_large_pool", top_row[3]),
+            ("tbeginc_large_pool", top_row[4]),
+            ("tbegin_large_pool", top_row[5]),
+            ("tbeginc_vs_unsync_pct", tbc_pct),
+        ],
+        None,
+        Some(&timing),
+    ) {
+        Ok(path) => println!("metrics: {}", path.display()),
+        Err(e) => eprintln!("metrics export failed: {e}"),
+    }
 }

@@ -5,8 +5,11 @@
 //! linearly.
 
 use std::time::Instant;
-use ztm_bench::{ops_for, print_header, print_row, quick, sweep, write_bench_json, Timing};
-use ztm_sim::{System, SystemConfig};
+use ztm_bench::{
+    bench_tag, cpu_counts, full, ops_for, print_header, print_row, quick, sweep, system_config,
+    write_bench_json, Timing,
+};
+use ztm_sim::System;
 use ztm_trace::{Recorder, Tracer};
 use ztm_workloads::hashtable::{HashTable, TableMethod};
 
@@ -21,6 +24,8 @@ fn main() {
             .split(',')
             .map(|s| s.trim().parse().expect("ZTM_FIG5E_THREADS: usize list"))
             .collect(),
+        // Full-topology tier: elide across the whole 144-CPU machine.
+        Err(_) if full() => cpu_counts(),
         Err(_) if quick() => vec![1, 2, 4, 6],
         Err(_) => vec![1, 2, 3, 4, 5, 6, 7, 8],
     };
@@ -34,7 +39,7 @@ fn main() {
     }
     let results = sweep(points, |&(method, cpus)| {
         let t = HashTable::new(512, 2048, 20, method);
-        let mut sys = System::new(SystemConfig::with_cpus(cpus).seed(42));
+        let mut sys = System::new(system_config(cpus).seed(42));
         let t0 = Instant::now();
         t.populate(&mut sys, &(0..1024).collect::<Vec<_>>());
         let rep = t.run(&mut sys, ops_for(cpus).min(150));
@@ -56,7 +61,7 @@ fn main() {
     // (serial: the recorder is thread-local by construction).
     let top = *threads.last().unwrap();
     let t = HashTable::new(512, 2048, 20, TableMethod::Elision);
-    let mut sys = System::new(SystemConfig::with_cpus(top).seed(42));
+    let mut sys = System::new(system_config(top).seed(42));
     let (tracer, recorder) = Tracer::recording(Recorder::DEFAULT_CAPACITY);
     sys.set_tracer(tracer);
     let t0 = Instant::now();
@@ -65,7 +70,7 @@ fn main() {
     timing.add_run(t0.elapsed(), &sys.report());
     let rec = recorder.borrow();
     match write_bench_json(
-        "fig5e_hashtable",
+        &bench_tag("fig5e_hashtable"),
         &[
             ("threads", top as f64),
             ("lock_normalized", lock_top),

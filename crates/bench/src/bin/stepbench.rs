@@ -1,0 +1,137 @@
+//! Simulator-speed brackets: ns/step for the interpreter, the memory
+//! system, and the scheduler in isolation. Not part of the figure set —
+//! this is the attribution tool behind DESIGN.md's "Interpreter dispatch"
+//! numbers. Run several times and take the minimum per bracket; shared
+//! hosts jitter by double-digit percentages.
+//!
+//! Brackets, cheapest first: a pure ALU loop (interpreter floor), a
+//! same-line spin (repeat-access fast path), rotating-line loads (L1-hit
+//! directory walk), a 36-CPU CAS handoff (XI storm), and the two fig 5(e)
+//! hashtable shapes (the real mix).
+
+use std::time::Instant;
+use ztm_isa::{gr::*, Assembler, MemOperand};
+use ztm_sim::{System, SystemConfig};
+use ztm_workloads::hashtable::{HashTable, TableMethod};
+
+fn spin_prog() -> ztm_isa::Program {
+    // The GlobalLock spin shape: load, compare-branch, delay, branch.
+    let mut a = Assembler::new(0);
+    a.lghi(R6, 1_000_000_000);
+    a.label("loop");
+    a.ltg(R1, MemOperand::absolute(0xF000));
+    a.jnz("loop");
+    a.delay(24);
+    a.brctg(R6, "loop");
+    a.halt();
+    a.assemble().unwrap()
+}
+
+fn alu_prog() -> ztm_isa::Program {
+    let mut a = Assembler::new(0);
+    a.lghi(R6, 1_000_000_000);
+    a.label("loop");
+    a.aghi(R2, 1);
+    a.aghi(R2, 1);
+    a.aghi(R2, 1);
+    a.brctg(R6, "loop");
+    a.halt();
+    a.assemble().unwrap()
+}
+
+fn time_steps(sys: &mut System, n: u64, label: &str) {
+    // Warm caches first.
+    sys.step_many(100_000);
+    let t = Instant::now();
+    let mut left = n;
+    while left > 0 {
+        let took = sys.step_many(left);
+        if took == 0 {
+            break;
+        }
+        left -= took;
+    }
+    let el = t.elapsed().as_secs_f64();
+    println!(
+        "{label:<28} {n} steps in {el:.3}s = {:.1} ns/step ({:.1}M steps/s)",
+        el / n as f64 * 1e9,
+        n as f64 / el / 1e6
+    );
+}
+
+fn main() {
+    let n = 4_000_000u64;
+
+    // 1. Bare spin, one CPU: interpreter + memory path, trivial scheduler.
+    let mut sys = System::new(SystemConfig::with_cpus(1).seed(42));
+    sys.load_program(0, &spin_prog());
+    time_steps(&mut sys, n, "spin 1cpu");
+
+    // 2. Bare spin, 36 CPUs all spinning on the same (read-shared) line.
+    let mut sys = System::new(SystemConfig::with_cpus(36).seed(42));
+    sys.load_program_all(&spin_prog());
+    time_steps(&mut sys, n, "spin 36cpu");
+
+    // 3. Pure ALU loop, one CPU: interpreter only, no data accesses.
+    let mut sys = System::new(SystemConfig::with_cpus(1).seed(42));
+    sys.load_program(0, &alu_prog());
+    time_steps(&mut sys, n, "alu 1cpu");
+
+    // 4. ALU loop, 36 CPUs: adds scheduler pressure, still no data.
+    let mut sys = System::new(SystemConfig::with_cpus(36).seed(42));
+    sys.load_program_all(&alu_prog());
+    time_steps(&mut sys, n, "alu 36cpu");
+
+    // 4b. Varied-line loads, one CPU: L1 hits on rotating lines (hot-miss
+    // row scans), no coherence traffic.
+    let mut a = Assembler::new(0);
+    a.lghi(R6, 1_000_000_000);
+    a.label("loop");
+    for k in 0..8 {
+        a.lg(R1, MemOperand::absolute(0x10_000 + k * 256));
+    }
+    a.brctg(R6, "loop");
+    a.halt();
+    let mut sys = System::new(SystemConfig::with_cpus(1).seed(42));
+    sys.load_program(0, &a.assemble().unwrap());
+    time_steps(&mut sys, n, "varied loads 1cpu");
+
+    // 4c. Lock handoff: every CPU csg/stg's one line — XI storm.
+    let mut a = Assembler::new(0);
+    a.lghi(R6, 1_000_000_000);
+    a.label("loop");
+    a.lghi(R2, 0);
+    a.lghi(R3, 1);
+    a.csg(R2, R3, MemOperand::absolute(0xF000));
+    a.lghi(R2, 0);
+    a.stg(R2, MemOperand::absolute(0xF000));
+    a.brctg(R6, "loop");
+    a.halt();
+    let p = a.assemble().unwrap();
+    let mut sys = System::new(SystemConfig::with_cpus(36).seed(42));
+    sys.load_program_all(&p);
+    time_steps(&mut sys, n, "lock handoff 36cpu");
+
+    // 5. The real fig5e point shape.
+    let table = HashTable::new(256, 1024, 20, TableMethod::GlobalLock);
+    let mut sys = System::new(SystemConfig::with_cpus(36).seed(42));
+    table.populate(&mut sys, &(0..1024).collect::<Vec<_>>());
+    let prog = table.program(1_000_000);
+    sys.load_program_all(&prog);
+    for i in 0..sys.cpus() {
+        let arena = 0x2000_0000u64 + i as u64 * 0x10_0000;
+        sys.core_mut(i).set_gr(R7, arena);
+    }
+    time_steps(&mut sys, n, "fig5e lock 36cpu");
+
+    let table = HashTable::new(256, 1024, 20, TableMethod::Elision);
+    let mut sys = System::new(SystemConfig::with_cpus(36).seed(42));
+    table.populate(&mut sys, &(0..1024).collect::<Vec<_>>());
+    let prog = table.program(1_000_000);
+    sys.load_program_all(&prog);
+    for i in 0..sys.cpus() {
+        let arena = 0x2000_0000u64 + i as u64 * 0x10_0000;
+        sys.core_mut(i).set_gr(R7, arena);
+    }
+    time_steps(&mut sys, n, "fig5e elision 36cpu");
+}

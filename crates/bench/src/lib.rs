@@ -36,12 +36,22 @@ pub const CPU_COUNTS: [usize; 12] = [2, 3, 4, 5, 6, 8, 10, 20, 40, 60, 80, 100];
 /// A reduced sweep for quick runs (`ZTM_QUICK=1`).
 pub const CPU_COUNTS_QUICK: [usize; 6] = [2, 4, 6, 10, 20, 40];
 
-/// The CPU counts to sweep, honoring `ZTM_QUICK`.
+/// The full-topology tier's x-axis (`ZTM_FULL=1`): up to the zEC12's
+/// 144 CPUs (4 books × 6 chips × 6 cores), with points on the chip (6)
+/// and book (36) boundaries where the paper's step-function drops sit.
+pub const CPU_COUNTS_FULL: [usize; 10] = [2, 6, 12, 24, 36, 48, 72, 96, 120, 144];
+
+/// Reduced full-topology sweep (`ZTM_FULL=1 ZTM_QUICK=1`, the CI smoke
+/// tier) — fewer points but still reaching the 144-CPU apex.
+pub const CPU_COUNTS_FULL_QUICK: [usize; 5] = [2, 12, 36, 72, 144];
+
+/// The CPU counts to sweep, honoring `ZTM_FULL` and `ZTM_QUICK`.
 pub fn cpu_counts() -> Vec<usize> {
-    if quick() {
-        CPU_COUNTS_QUICK.to_vec()
-    } else {
-        CPU_COUNTS.to_vec()
+    match (full(), quick()) {
+        (true, true) => CPU_COUNTS_FULL_QUICK.to_vec(),
+        (true, false) => CPU_COUNTS_FULL.to_vec(),
+        (false, true) => CPU_COUNTS_QUICK.to_vec(),
+        (false, false) => CPU_COUNTS.to_vec(),
     }
 }
 
@@ -50,6 +60,34 @@ pub fn quick() -> bool {
     std::env::var("ZTM_QUICK")
         .map(|v| v == "1")
         .unwrap_or(false)
+}
+
+/// Whether the full-topology tier is on (`ZTM_FULL=1`): sweep to 144 CPUs
+/// on the real zEC12 book/chip arrangement instead of the paper's testbed
+/// MCM granularity. Orthogonal to [`quick`], which still shrinks op counts.
+pub fn full() -> bool {
+    std::env::var("ZTM_FULL").map(|v| v == "1").unwrap_or(false)
+}
+
+/// The system configuration for one sweep point, honoring the
+/// full-topology tier. Outside `ZTM_FULL=1` this is exactly
+/// [`SystemConfig::with_cpus`], so committed digests are unaffected.
+pub fn system_config(cpus: usize) -> SystemConfig {
+    let mut cfg = SystemConfig::with_cpus(cpus);
+    if full() {
+        cfg.topology = ztm_cache::Topology::zec12(cpus);
+    }
+    cfg
+}
+
+/// Result-file name for the current tier: full-topology artifacts get a
+/// `_full` suffix so they sit next to (never overwrite) the default tier's.
+pub fn bench_tag(name: &str) -> String {
+    if full() {
+        format!("{name}_full")
+    } else {
+        name.to_string()
+    }
 }
 
 /// Worker-thread count for [`sweep`]: `ZTM_BENCH_THREADS` if set (≥ 1),
@@ -136,7 +174,7 @@ pub fn run_pool(
     seed: u64,
 ) -> WorkloadReport {
     let wl = PoolWorkload::new(PoolLayout::new(pool, vars), method, seed);
-    let mut sys = System::new(SystemConfig::with_cpus(cpus).seed(seed));
+    let mut sys = System::new(system_config(cpus).seed(seed));
     wl.run(&mut sys, ops_for(cpus))
 }
 
@@ -150,7 +188,7 @@ pub fn run_pool_traced(
     seed: u64,
 ) -> (WorkloadReport, Rc<RefCell<Recorder>>) {
     let wl = PoolWorkload::new(PoolLayout::new(pool, vars), method, seed);
-    let mut sys = System::new(SystemConfig::with_cpus(cpus).seed(seed));
+    let mut sys = System::new(system_config(cpus).seed(seed));
     let (tracer, recorder) = Tracer::recording(Recorder::DEFAULT_CAPACITY);
     sys.set_tracer(tracer);
     let report = wl.run(&mut sys, ops_for(cpus));
@@ -193,12 +231,44 @@ impl Timing {
             }
         };
         format!(
-            "{{ \"wall_ms\": {:.3}, \"steps_per_sec\": {:.0}, \"sim_cycles_per_sec\": {:.0} }}",
+            "{{ \"wall_ms\": {:.3}, \"steps_per_sec\": {:.0}, \"sim_cycles_per_sec\": {:.0}, \
+             \"commit\": \"{}\", \"host_threads\": {} }}",
             self.wall_ms,
             per_sec(self.steps),
-            per_sec(self.sim_cycles)
+            per_sec(self.sim_cycles),
+            commit_id(),
+            bench_threads()
         )
     }
+}
+
+/// The git commit the binary ran from, for correlating timing artifacts
+/// with history: `git rev-parse` when run inside a checkout, else the CI
+/// `GITHUB_SHA`, else `"unknown"`. Lives on the stripped `"timing"` line —
+/// it is host metadata, not simulation output.
+fn commit_id() -> String {
+    static COMMIT: std::sync::OnceLock<String> = std::sync::OnceLock::new();
+    COMMIT
+        .get_or_init(|| {
+            let git = std::process::Command::new("git")
+                .args(["rev-parse", "--short=12", "HEAD"])
+                .output();
+            if let Ok(out) = git {
+                if out.status.success() {
+                    if let Ok(s) = String::from_utf8(out.stdout) {
+                        let s = s.trim();
+                        if !s.is_empty() {
+                            return s.to_string();
+                        }
+                    }
+                }
+            }
+            match std::env::var("GITHUB_SHA") {
+                Ok(sha) if !sha.is_empty() => sha.chars().take(12).collect(),
+                _ => "unknown".to_string(),
+            }
+        })
+        .clone()
 }
 
 /// Writes `BENCH_<name>.json` into the results directory (`ZTM_RESULTS_DIR`,
@@ -306,6 +376,10 @@ mod tests {
         let timing_lines: Vec<&str> = text.lines().filter(|l| l.contains("\"timing\"")).collect();
         assert_eq!(timing_lines.len(), 1);
         assert!(timing_lines[0].contains("\"steps_per_sec\""));
+        // Host metadata (commit, thread count) must ride the same stripped
+        // line, never a deterministic field.
+        assert!(timing_lines[0].contains("\"commit\""));
+        assert!(timing_lines[0].contains("\"host_threads\""));
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -118,6 +118,13 @@ pub struct PrivateCache {
     tx_read_marks: Vec<LineAddr>,
     /// Journal of lines marked tx-dirty during the current transaction.
     tx_dirty_marks: Vec<LineAddr>,
+    /// Bumped whenever directory state changes *outside* this CPU's own
+    /// access path: an incoming XI (including internal LRU XIs) or a
+    /// transaction boundary. A caller that caches "my last access to line L
+    /// hit the L1" can keep trusting that verdict exactly while this counter
+    /// stands still (its own later accesses replace the cached verdict, so
+    /// they need no bump).
+    gen: u64,
     tracer: Tracer,
 }
 
@@ -142,8 +149,25 @@ impl PrivateCache {
             reject_epoch: 0,
             tx_read_marks: Vec::new(),
             tx_dirty_marks: Vec::new(),
+            gen: 0,
             tracer: Tracer::disabled(),
         }
+    }
+
+    /// The external-mutation generation (see the `gen` field).
+    pub fn generation(&self) -> u64 {
+        self.gen
+    }
+
+    /// Re-emits the `Access` event a repeated L1-hit lookup of `line` would
+    /// have produced, for callers that elide the directory walk itself.
+    pub fn emit_repeat_access(&self, line: LineAddr, store: bool) {
+        self.tracer.emit(|| Event::Access {
+            line: line.index(),
+            store,
+            hit: hit_level::L1,
+            tx: self.in_tx,
+        });
     }
 
     /// Creates a private cache unit with the XI-reject table pre-sized for
@@ -306,6 +330,94 @@ impl PrivateCache {
         self.install_l1(line, &mut out);
         self.mark(line, class, tx);
         out
+    }
+
+    /// Fused [`lookup`](Self::lookup) + [`complete_local`](Self::complete_local):
+    /// one pass over each directory instead of two.
+    ///
+    /// Equivalence with the split pair is stamp-exact: the L2 is scanned once
+    /// (state check first, stamp applied only on the hit path, as
+    /// `peek`-then-`get` would), the L1 `get_index` consumes a stamp even on
+    /// a miss exactly like `get`, and the tx-marking transitions and journal
+    /// pushes are the ones `complete_local` performs. `need_excl` is the
+    /// lookup's exclusivity requirement (a store, or fetch with intent to
+    /// update); `class` is the access class used for tx marking.
+    pub fn access_local(
+        &mut self,
+        line: LineAddr,
+        class: AccessClass,
+        need_excl: bool,
+        tx: bool,
+    ) -> (LocalHit, InstallOutcome) {
+        // Phase 1: the lookup — scans and LRU stamps only, no completion
+        // side effects, so the `Access` event precedes any `Evict` the
+        // completion emits (same event order as the split pair).
+        let (hit, l1_at) = match self.l2.find(line) {
+            None => (
+                LocalHit::Miss {
+                    held_read_only: false,
+                },
+                None,
+            ),
+            Some(l2_at) => {
+                if need_excl && self.l2.entry_at(l2_at).state == CohState::ReadOnly {
+                    (
+                        LocalHit::Miss {
+                            held_read_only: true,
+                        },
+                        None,
+                    )
+                } else {
+                    let l1_at = self.l1.get_index(line);
+                    self.l2.touch_index(l2_at);
+                    match l1_at {
+                        Some(at) => (LocalHit::L1, Some(at)),
+                        None => (LocalHit::L2, None),
+                    }
+                }
+            }
+        };
+        self.tracer.emit(|| Event::Access {
+            line: line.index(),
+            store: need_excl,
+            hit: match hit {
+                LocalHit::L1 => hit_level::L1,
+                LocalHit::L2 => hit_level::L2,
+                LocalHit::Miss { .. } => hit_level::MISS,
+            },
+            tx: self.in_tx,
+        });
+        // Phase 2: completion — tx marking (and L1 install for L2 hits).
+        let mut out = InstallOutcome::default();
+        match hit {
+            LocalHit::L1 => {
+                if tx {
+                    let e = self
+                        .l1
+                        .entry_at_mut(l1_at.expect("L1 hit carries its slot index"));
+                    match class {
+                        AccessClass::Fetch => {
+                            if !e.tx_read {
+                                e.tx_read = true;
+                                self.tx_read_marks.push(line);
+                            }
+                        }
+                        AccessClass::Store => {
+                            if !e.tx_dirty {
+                                e.tx_dirty = true;
+                                self.tx_dirty_marks.push(line);
+                            }
+                        }
+                    }
+                }
+            }
+            LocalHit::L2 => {
+                self.install_l1(line, &mut out);
+                self.mark(line, class, tx);
+            }
+            LocalHit::Miss { .. } => {}
+        }
+        (hit, out)
     }
 
     fn install_l1(&mut self, line: LineAddr, out: &mut InstallOutcome) {
@@ -515,6 +627,7 @@ impl PrivateCache {
     }
 
     fn apply_xi_transition(&mut self, xi: Xi) -> XiOutcome {
+        self.gen += 1;
         // Losing (or downgrading) the line forces pending non-transactional
         // stores for it out of the gathering store cache first.
         self.store_cache.drain_line(xi.line);
@@ -594,6 +707,7 @@ impl PrivateCache {
     /// cache entries (§III.B/§III.D).
     pub fn begin_outermost_tx(&mut self) {
         self.in_tx = true;
+        self.gen += 1;
         self.reject_epoch += 1;
         self.clear_tx_marks();
         self.lru_ext.fill(false);
@@ -604,6 +718,7 @@ impl PrivateCache {
     /// the buffered stores for application to committed memory.
     pub fn commit_tx(&mut self) -> Vec<DrainWrite> {
         self.in_tx = false;
+        self.gen += 1;
         self.clear_tx_marks();
         self.lru_ext.fill(false);
         self.store_cache.commit_tx()
@@ -614,6 +729,7 @@ impl PrivateCache {
     /// stores, and returns the NTSTG writes that must still be committed.
     pub fn abort_tx(&mut self) -> Vec<DrainWrite> {
         self.in_tx = false;
+        self.gen += 1;
         for i in 0..self.tx_dirty_marks.len() {
             let line = self.tx_dirty_marks[i];
             // Journal entries can be stale: only remove lines whose live L1

@@ -123,11 +123,20 @@ impl<E> SetAssoc<E> {
 
     /// Looks up a line, marking it most-recently-used.
     pub fn get(&mut self, line: LineAddr) -> Option<&mut E> {
+        let at = self.get_index(line)?;
+        self.slots[at].as_mut().map(|s| &mut s.entry)
+    }
+
+    /// [`get`](Self::get) by flat slot index: identical LRU/stamp effects
+    /// (a stamp is consumed even on a miss, matching `get`), but returns the
+    /// slot position so callers that need the entry *and* other fields of
+    /// their own struct can split the borrows.
+    pub fn get_index(&mut self, line: LineAddr) -> Option<usize> {
         if let Some((hot_line, idx)) = self.hot {
             if hot_line == line {
                 // Already the directory-wide MRU (see `hot`): re-stamping
                 // would not change any relative order, so skip it.
-                return self.slots[idx].as_mut().map(|s| &mut s.entry);
+                return Some(idx);
             }
         }
         let stamp = self.next_stamp();
@@ -139,14 +148,80 @@ impl<E> SetAssoc<E> {
                 Some(slot) if slot.line == line => {
                     slot.lru = stamp;
                     self.hot = Some((line, at));
-                    // Re-borrow to satisfy the borrow checker.
-                    return self.slots[at].as_mut().map(|s| &mut s.entry);
+                    return Some(at);
                 }
                 Some(_) => {}
                 None => break,
             }
         }
         None
+    }
+
+    /// Locates a line without touching LRU state, returning its flat slot
+    /// index (the no-stamp analogue of [`get_index`](Self::get_index)).
+    pub fn find(&self, line: LineAddr) -> Option<usize> {
+        if let Some((hot_line, idx)) = self.hot {
+            if hot_line == line {
+                return Some(idx);
+            }
+        }
+        let class = self.class_of(line);
+        let ways = self.ways;
+        let base = class * ways;
+        for at in base..base + ways {
+            match self.slots[at].as_ref() {
+                Some(slot) if slot.line == line => return Some(at),
+                Some(_) => {}
+                None => break,
+            }
+        }
+        None
+    }
+
+    /// Marks the slot found by [`find`](Self::find) most-recently-used —
+    /// exactly the effect `get` would have had on a hit (hot-slot repeats
+    /// skip the stamp, as in `get`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` does not hold an occupied slot.
+    pub fn touch_index(&mut self, at: usize) {
+        let line = self.slots[at]
+            .as_ref()
+            .expect("touched slot is occupied")
+            .line;
+        if self.hot == Some((line, at)) {
+            return;
+        }
+        let stamp = self.next_stamp();
+        let slot = self.slots[at].as_mut().expect("touched slot is occupied");
+        slot.lru = stamp;
+        self.hot = Some((line, at));
+    }
+
+    /// The entry at a flat slot index returned by
+    /// [`find`](Self::find)/[`get_index`](Self::get_index).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` does not hold an occupied slot.
+    pub fn entry_at(&self, at: usize) -> &E {
+        &self.slots[at]
+            .as_ref()
+            .expect("indexed slot is occupied")
+            .entry
+    }
+
+    /// Mutable access to the entry at a flat slot index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` does not hold an occupied slot.
+    pub fn entry_at_mut(&mut self, at: usize) -> &mut E {
+        &mut self.slots[at]
+            .as_mut()
+            .expect("indexed slot is occupied")
+            .entry
     }
 
     /// Mutable lookup without touching LRU state.

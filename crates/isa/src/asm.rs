@@ -1,5 +1,6 @@
 //! A small two-pass assembler producing executable [`Program`]s.
 
+use crate::decoded::{self, DecodedInstr};
 use crate::instr::{cc_mask, CmpCond, Instr, MemOperand, RegOrImm};
 use crate::reg::Reg;
 use std::collections::HashMap;
@@ -9,12 +10,15 @@ use ztm_core::{GrSaveMask, TbeginParams};
 
 /// An assembled program: instructions plus their byte addresses, so that
 /// transaction resume points (§II.A) and the constrained text-span rule
-/// (§II.D) operate on realistic instruction addresses.
+/// (§II.D) operate on realistic instruction addresses. Assembly also lowers
+/// the program once into a flat [`DecodedInstr`] table, which is what the
+/// interpreter dispatches over.
 #[derive(Debug, Clone)]
 pub struct Program {
     instrs: Vec<Instr>,
     addrs: Vec<u64>,
-    by_addr: HashMap<u64, usize>,
+    decoded: Vec<DecodedInstr>,
+    tparams: Vec<TbeginParams>,
     base: u64,
 }
 
@@ -44,8 +48,34 @@ impl Program {
     }
 
     /// The instruction index at a byte address (used to resume after abort).
+    /// `addrs` is strictly increasing by construction, so a binary search
+    /// replaces the hash map this used to keep.
     pub fn index_of_addr(&self, addr: u64) -> Option<usize> {
-        self.by_addr.get(&addr).copied()
+        self.addrs.binary_search(&addr).ok()
+    }
+
+    /// The decoded record for instruction `idx` (the interpreter's view).
+    #[inline]
+    pub fn decoded(&self, idx: usize) -> &DecodedInstr {
+        &self.decoded[idx]
+    }
+
+    /// The TBEGIN/TBEGINC operand side table referenced by
+    /// [`DecodedInstr::params`].
+    #[inline]
+    pub fn tbegin_params(&self, slot: u16) -> &TbeginParams {
+        &self.tparams[slot as usize]
+    }
+
+    /// Reconstructs instruction `idx` from its decoded record (exact
+    /// inverse of the predecode lowering; used by the round-trip tests).
+    pub fn reconstruct(&self, idx: usize) -> Instr {
+        self.decoded[idx].reify(&self.tparams)
+    }
+
+    /// The full instruction slice (legacy interpreter path).
+    pub(crate) fn raw_instrs(&self) -> &[Instr] {
+        &self.instrs
     }
 
     /// Base byte address of the program text.
@@ -162,17 +192,17 @@ impl Assembler {
             }
         }
         let mut addrs = Vec::with_capacity(instrs.len());
-        let mut by_addr = HashMap::with_capacity(instrs.len());
         let mut a = self.base;
-        for (i, instr) in instrs.iter().enumerate() {
+        for instr in &instrs {
             addrs.push(a);
-            by_addr.insert(a, i);
             a += instr.len();
         }
+        let (decoded, tparams) = decoded::predecode(&instrs, &addrs);
         Ok(Program {
             instrs,
             addrs,
-            by_addr,
+            decoded,
+            tparams,
             base: self.base,
         })
     }

@@ -2,9 +2,10 @@
 //! [`Machine`].
 
 use crate::asm::Program;
+use crate::decoded::{DecodedInstr, Op, FLAG_FOR_UPDATE, FLAG_OPERAND_REG, NO_REG};
 use crate::instr::{Instr, MemOperand, RegOrImm};
 use crate::machine::{AccessResult, CasResult, EndResult, ExceptionDisposition, Machine};
-use crate::reg::{CpuCore, CpuState, HaltReason};
+use crate::reg::{CpuCore, CpuState, HaltReason, Reg};
 use ztm_core::ProgramException;
 use ztm_mem::Address;
 
@@ -46,35 +47,10 @@ impl StepOutcome {
     }
 }
 
-/// Whether a store to the same memory operand appears within the next few
-/// instructions — the out-of-order LSU would merge the load miss with the
-/// store's exclusive fetch, so the line is fetched exclusive once (zEC12
-/// store-hit-load-miss merging; this is what lets stiff-arming protect a
-/// transactional read-modify-write, §III.C).
+/// Store-hit-load-miss merge scan (§III.C) — the predecode pass computes
+/// this once per program; the legacy walk re-derives it per execution.
 fn store_follows(prog: &Program, idx: usize, mem: &MemOperand) -> bool {
-    const WINDOW: usize = 4;
-    for j in idx + 1..(idx + 1 + WINDOW).min(prog.len()) {
-        match prog.instr(j) {
-            // Same base/index registers and displacement within the same
-            // 256-byte line.
-            Instr::Stg(_, m) | Instr::Ntstg(_, m) | Instr::Csg(_, _, m)
-                if m.base == mem.base && m.index == mem.index && m.disp / 256 == mem.disp / 256 =>
-            {
-                return true;
-            }
-            // A branch or transaction boundary ends the merge window.
-            Instr::Brc(..)
-            | Instr::Cgij(..)
-            | Instr::Brctg(..)
-            | Instr::Br(..)
-            | Instr::Tend
-            | Instr::Tbegin(..)
-            | Instr::Tbeginc(..)
-            | Instr::Halt => return false,
-            _ => {}
-        }
-    }
-    false
+    crate::decoded::store_follows(prog.raw_instrs(), idx, mem)
 }
 
 fn effective_address(core: &CpuCore, mem: &MemOperand) -> Address {
@@ -84,6 +60,20 @@ fn effective_address(core: &CpuCore, mem: &MemOperand) -> Address {
     }
     if let Some(x) = mem.index {
         a = a.wrapping_add(core.gr(x));
+    }
+    Address::new(a)
+}
+
+/// Effective address from a decoded record: displacement in `imm`, register
+/// slots resolved — same base-then-index wrapping order as the legacy path.
+#[inline]
+fn effective_address_decoded(core: &CpuCore, d: &DecodedInstr) -> Address {
+    let mut a = d.imm as u64;
+    if d.base != NO_REG {
+        a = a.wrapping_add(core.grs[d.base as usize]);
+    }
+    if d.index != NO_REG {
+        a = a.wrapping_add(core.grs[d.index as usize]);
     }
     Address::new(a)
 }
@@ -150,7 +140,376 @@ pub fn step(core: &mut CpuCore, prog: &Program, m: &mut impl Machine) -> StepOut
     out
 }
 
+/// Executes one instruction via the original `Instr`-enum walk (cloning the
+/// instruction and re-deriving lengths, classes and branch directions every
+/// execution). Kept as the reference interpreter: the differential tests run
+/// workloads through both paths and require identical outcomes and digests.
+pub fn step_legacy(core: &mut CpuCore, prog: &Program, m: &mut impl Machine) -> StepOutcome {
+    let out = step_inner_legacy(core, prog, m);
+    core.clock += out.cycles;
+    out
+}
+
 fn step_inner(core: &mut CpuCore, prog: &Program, m: &mut impl Machine) -> StepOutcome {
+    if !core.is_running() {
+        return StepOutcome {
+            cycles: 0,
+            event: StepEvent::Halted,
+            broadcast_stop: false,
+        };
+    }
+
+    let idx = core.pc;
+    let d = *prog.decoded(idx);
+    let ia = d.addr;
+
+    // Asynchronous pending aborts (XI conflicts delivered between
+    // instructions — completion stalls against XIs, §III.C).
+    if m.pending_abort() {
+        return take_abort(core, prog, m, ia);
+    }
+
+    let len = d.len as u64;
+    let mut cycles: u64 = 1;
+
+    // Instruction fetch through the i-cache; ifetch exceptions are never
+    // filtered (§II.C), which `report_exception(…, true)` enforces.
+    match m.ifetch(Address::new(ia)) {
+        AccessResult::Done { cycles: c, .. } => cycles += c,
+        AccessResult::Stall { cycles: c } => {
+            return StepOutcome {
+                cycles: cycles + c,
+                event: StepEvent::Stalled,
+                broadcast_stop: false,
+            }
+        }
+        AccessResult::Fault(pe) => {
+            return match m.report_exception(pe, true) {
+                ExceptionDisposition::Retry { cycles } => StepOutcome {
+                    cycles,
+                    event: StepEvent::Executed,
+                    broadcast_stop: false,
+                },
+                ExceptionDisposition::PendingAbort => take_abort(core, prog, m, ia),
+                ExceptionDisposition::Terminate(msg) => {
+                    core.state = CpuState::Halted(HaltReason::Terminated(msg));
+                    StepOutcome {
+                        cycles: 1,
+                        event: StepEvent::Executed,
+                        broadcast_stop: false,
+                    }
+                }
+            }
+        }
+    }
+
+    // PER instruction-fetch monitoring (§II.E.2).
+    if core.per.enabled && core.per.ifetch_event(ia, m.in_tx()) {
+        core.per_events += 1;
+        if m.in_tx() {
+            // PER event in a transaction: abort + non-filterable
+            // interruption into the OS.
+            let disp = m.report_exception(ProgramException::PerEvent, true);
+            if disp == ExceptionDisposition::PendingAbort {
+                return take_abort(core, prog, m, ia);
+            }
+        } else if let ExceptionDisposition::Retry { cycles: c } =
+            m.report_exception(ProgramException::PerEvent, true)
+        {
+            // Debugger observed the fetch; the instruction then executes.
+            cycles += c;
+        }
+    }
+
+    // Transactional legality + constrained constraints + diagnostic tick.
+    // The class (backward bit included) was folded in at predecode time.
+    m.check_instruction(d.class, ia, len);
+    if m.pending_abort() {
+        return take_abort(core, prog, m, ia);
+    }
+
+    let mut next_pc = idx + 1;
+    let mut event = StepEvent::Executed;
+
+    macro_rules! mem_load {
+        ($ea:expr, $len:expr, $upd:expr) => {
+            match m.load($ea, $len, $upd) {
+                AccessResult::Done { value, cycles: c } => {
+                    cycles += c;
+                    value
+                }
+                AccessResult::Stall { cycles: c } => {
+                    return StepOutcome {
+                        cycles: cycles + c,
+                        event: StepEvent::Stalled,
+                        broadcast_stop: false,
+                    }
+                }
+                AccessResult::Fault(pe) => return handle_fault(core, prog, m, pe, ia),
+            }
+        };
+    }
+    macro_rules! mem_store {
+        ($ea:expr, $len:expr, $val:expr) => {{
+            match m.store($ea, $len, $val) {
+                AccessResult::Done { cycles: c, .. } => cycles += c,
+                AccessResult::Stall { cycles: c } => {
+                    return StepOutcome {
+                        cycles: cycles + c,
+                        event: StepEvent::Stalled,
+                        broadcast_stop: false,
+                    }
+                }
+                AccessResult::Fault(pe) => return handle_fault(core, prog, m, pe, ia),
+            }
+            if core.per.enabled && core.per.store_event($ea.raw(), $len as u64, m.in_tx()) {
+                core.per_events += 1;
+                match m.report_exception(ProgramException::PerEvent, false) {
+                    ExceptionDisposition::PendingAbort => return take_abort(core, prog, m, ia),
+                    ExceptionDisposition::Retry { cycles: c } => cycles += c,
+                    ExceptionDisposition::Terminate(msg) => {
+                        core.state = CpuState::Halted(HaltReason::Terminated(msg));
+                    }
+                }
+            }
+        }};
+    }
+
+    match d.op {
+        Op::Lghi => core.set_gr(Reg(d.r1), d.imm as u64),
+        Op::Lgr => core.set_gr(Reg(d.r1), core.grs[d.r2 as usize]),
+        Op::La => core.set_gr(Reg(d.r1), effective_address_decoded(core, &d).raw()),
+        Op::Lg => {
+            let ea = effective_address_decoded(core, &d);
+            let upd = d.flags & FLAG_FOR_UPDATE != 0;
+            let v = mem_load!(ea, 8, upd);
+            core.set_gr(Reg(d.r1), v);
+        }
+        Op::Ltg => {
+            let ea = effective_address_decoded(core, &d);
+            let v = mem_load!(ea, 8, false);
+            core.set_gr(Reg(d.r1), v);
+            core.set_cc_value(v as i64);
+        }
+        Op::Stg => {
+            let ea = effective_address_decoded(core, &d);
+            mem_store!(ea, 8, core.grs[d.r1 as usize]);
+        }
+        Op::Ntstg => {
+            let ea = effective_address_decoded(core, &d);
+            match m.store_nontx(ea, core.grs[d.r1 as usize]) {
+                AccessResult::Done { cycles: c, .. } => cycles += c,
+                AccessResult::Stall { cycles: c } => {
+                    return StepOutcome {
+                        cycles: cycles + c,
+                        event: StepEvent::Stalled,
+                        broadcast_stop: false,
+                    }
+                }
+                AccessResult::Fault(pe) => return handle_fault(core, prog, m, pe, ia),
+            }
+        }
+        Op::Csg => {
+            let ea = effective_address_decoded(core, &d);
+            match m.compare_and_swap(ea, core.grs[d.r1 as usize], core.grs[d.r2 as usize]) {
+                CasResult::Done {
+                    swapped,
+                    old,
+                    cycles: c,
+                } => {
+                    cycles += c;
+                    if swapped {
+                        core.cc = 0;
+                    } else {
+                        core.set_gr(Reg(d.r1), old);
+                        core.cc = 1;
+                    }
+                }
+                CasResult::Stall { cycles: c } => {
+                    return StepOutcome {
+                        cycles: cycles + c,
+                        event: StepEvent::Stalled,
+                        broadcast_stop: false,
+                    }
+                }
+                CasResult::Fault(pe) => return handle_fault(core, prog, m, pe, ia),
+            }
+        }
+        Op::Agr => {
+            let v = core.grs[d.r1 as usize].wrapping_add(core.grs[d.r2 as usize]);
+            core.set_gr(Reg(d.r1), v);
+            core.set_cc_value(v as i64);
+        }
+        Op::Sgr => {
+            let v = core.grs[d.r1 as usize].wrapping_sub(core.grs[d.r2 as usize]);
+            core.set_gr(Reg(d.r1), v);
+            core.set_cc_value(v as i64);
+        }
+        Op::Aghi => {
+            let v = core.grs[d.r1 as usize].wrapping_add(d.imm as u64);
+            core.set_gr(Reg(d.r1), v);
+            core.set_cc_value(v as i64);
+        }
+        Op::Ngr => {
+            let v = core.grs[d.r1 as usize] & core.grs[d.r2 as usize];
+            core.set_gr(Reg(d.r1), v);
+            core.set_cc_value(v as i64);
+        }
+        Op::Xgr => {
+            let v = core.grs[d.r1 as usize] ^ core.grs[d.r2 as usize];
+            core.set_gr(Reg(d.r1), v);
+            core.set_cc_value(v as i64);
+        }
+        Op::Msgr => {
+            let v = core.grs[d.r1 as usize].wrapping_mul(core.grs[d.r2 as usize]);
+            core.set_gr(Reg(d.r1), v);
+        }
+        Op::Dsgr => {
+            let divisor = core.grs[d.r2 as usize];
+            if divisor == 0 {
+                return handle_fault(core, prog, m, ProgramException::FixedPointDivide, ia);
+            }
+            let v = (core.grs[d.r1 as usize] as i64).wrapping_div(divisor as i64) as u64;
+            core.set_gr(Reg(d.r1), v);
+            cycles += 20;
+        }
+        Op::Sllg => core.set_gr(Reg(d.r1), core.grs[d.r2 as usize] << d.aux),
+        Op::Srlg => core.set_gr(Reg(d.r1), core.grs[d.r2 as usize] >> d.aux),
+        Op::Ltgr => {
+            let v = core.grs[d.r2 as usize];
+            core.set_gr(Reg(d.r1), v);
+            core.set_cc_value(v as i64);
+        }
+        Op::Cgr => core.set_cc_cmp(
+            core.grs[d.r1 as usize] as i64,
+            core.grs[d.r2 as usize] as i64,
+        ),
+        Op::Cghi => core.set_cc_cmp(core.grs[d.r1 as usize] as i64, d.imm),
+        Op::Brc => {
+            if d.aux >> (3 - core.cc) & 1 == 1 {
+                next_pc = d.target as usize;
+            }
+        }
+        Op::Cgij => {
+            if crate::decoded::decode_cond(d.aux).eval(core.grs[d.r1 as usize] as i64, d.imm) {
+                next_pc = d.target as usize;
+            }
+        }
+        Op::Brctg => {
+            let v = core.grs[d.r1 as usize].wrapping_sub(1);
+            core.set_gr(Reg(d.r1), v);
+            if v != 0 {
+                next_pc = d.target as usize;
+            }
+        }
+        Op::Br => next_pc = core.grs[d.r1 as usize] as usize,
+        Op::Tbegin => {
+            let params = *prog.tbegin_params(d.params);
+            cycles += m.tx_begin(false, params, &core.grs, ia, ia + len);
+            if m.pending_abort() {
+                return take_abort(core, prog, m, ia);
+            }
+            core.cc = 0;
+        }
+        Op::Tbeginc => {
+            // The side-table entry is already `TbeginParams::constrained`.
+            let params = *prog.tbegin_params(d.params);
+            cycles += m.tx_begin(true, params, &core.grs, ia, ia + len);
+            if m.pending_abort() {
+                return take_abort(core, prog, m, ia);
+            }
+            core.cc = 0;
+        }
+        Op::Tend => match m.tx_end() {
+            EndResult::NotInTx => core.cc = 2,
+            EndResult::Inner { cycles: c } => {
+                cycles += c;
+                core.cc = 0;
+            }
+            EndResult::Commit { cycles: c } => {
+                cycles += c;
+                core.cc = 0;
+                event = StepEvent::Committed;
+                if core.per.tend_event_fires() {
+                    core.per_events += 1;
+                    if let ExceptionDisposition::Retry { cycles: c } =
+                        m.report_exception(ProgramException::PerEvent, false)
+                    {
+                        cycles += c;
+                    }
+                }
+            }
+            EndResult::AbortPending => return take_abort(core, prog, m, ia),
+        },
+        Op::Tabort => {
+            if !m.in_tx() {
+                return handle_fault(core, prog, m, ProgramException::Specification, ia);
+            }
+            let code = if d.flags & FLAG_OPERAND_REG != 0 {
+                core.grs[d.r2 as usize]
+            } else {
+                d.imm as u64
+            };
+            m.tx_abort_request(code);
+            return take_abort(core, prog, m, ia);
+        }
+        Op::Etnd => {
+            core.set_gr(Reg(d.r1), m.tx_depth());
+            cycles += 10; // millicoded, not performance critical (§III.E)
+        }
+        Op::Ppa => {
+            cycles += m.ppa(core.grs[d.r1 as usize]);
+        }
+        Op::Stckf => {
+            let ea = effective_address_decoded(core, &d);
+            let clk = core.clock;
+            mem_store!(ea, 8, clk);
+        }
+        Op::Rdclk => core.set_gr(Reg(d.r1), core.clock),
+        Op::RandMod => {
+            let b = if d.flags & FLAG_OPERAND_REG != 0 {
+                core.grs[d.r2 as usize]
+            } else {
+                d.imm as u64
+            };
+            core.set_gr(Reg(d.r1), m.rand(b));
+            cycles = 0; // RNG overhead is excluded from measurements (§IV)
+        }
+        Op::Sar => core.ars[d.r1 as usize] = core.grs[d.r2 as usize] as u32,
+        Op::Ear => core.set_gr(Reg(d.r1), core.ars[d.r2 as usize] as u64),
+        Op::Adbr => {
+            let a = f64::from_bits(core.fprs[d.r1 as usize]);
+            let b = f64::from_bits(core.fprs[d.r2 as usize]);
+            core.fprs[d.r1 as usize] = (a + b).to_bits();
+        }
+        Op::Decimal | Op::Nop => {}
+        Op::Delay => cycles += d.imm as u64,
+        Op::Privileged => cycles += 10,
+        Op::Halt => {
+            core.state = CpuState::Halted(HaltReason::Completed);
+            return StepOutcome {
+                cycles,
+                event: StepEvent::Halted,
+                broadcast_stop: false,
+            };
+        }
+    }
+
+    core.pc = next_pc;
+    core.instructions += 1;
+    m.instruction_retired();
+    if event == StepEvent::Committed {
+        StepOutcome {
+            cycles,
+            event,
+            broadcast_stop: false,
+        }
+    } else {
+        StepOutcome::executed(cycles)
+    }
+}
+
+fn step_inner_legacy(core: &mut CpuCore, prog: &Program, m: &mut impl Machine) -> StepOutcome {
     if !core.is_running() {
         return StepOutcome {
             cycles: 0,

@@ -46,6 +46,7 @@
 
 mod asm;
 mod cpu;
+pub mod decoded;
 mod disasm;
 mod instr;
 mod machine;
@@ -53,7 +54,8 @@ mod per;
 mod reg;
 
 pub use asm::{AsmError, Assembler, Program};
-pub use cpu::{run_to_halt, step, StepEvent, StepOutcome};
+pub use cpu::{run_to_halt, step, step_legacy, StepEvent, StepOutcome};
+pub use decoded::{DecodedInstr, Op};
 pub use instr::{cc_mask, CmpCond, Instr, MemOperand, RegOrImm};
 pub use machine::{
     finish_abort, AbortApply, AccessResult, CasResult, EndResult, ExceptionDisposition, Machine,

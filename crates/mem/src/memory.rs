@@ -1,6 +1,7 @@
 //! The committed architectural memory image.
 
 use crate::{Address, LineAddr, LINE_SIZE};
+use std::cell::Cell;
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
 
@@ -59,8 +60,25 @@ impl Hasher for AddrHasher {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct MainMemory {
-    lines: HashMap<LineAddr, Box<[u8; LINE_SIZE as usize]>, AddrHashBuilder>,
+    /// Line index → arena slot. Lines are allocated on first store and never
+    /// freed, so a slot number, once handed out, stays valid forever — that
+    /// immutability is what makes the `front` cache safe.
+    index: HashMap<LineAddr, u32, AddrHashBuilder>,
+    /// Line payloads, contiguous. Dense storage beats one `Box` per line
+    /// both on allocator traffic and on host-cache locality: lines populated
+    /// together (a workload's table, a CPU's arena) end up adjacent.
+    arena: Vec<[u8; LINE_SIZE as usize]>,
+    /// Direct-mapped front cache over `index`: `front[line % N]` remembers
+    /// `(line index, arena slot)`. Purely an accessor-side memo — slots never
+    /// move or die — so it lives in `Cell`s and loads stay `&self`.
+    front: Box<[Cell<(u64, u32)>]>,
 }
+
+/// Front-cache size; must be a power of two.
+const FRONT_WAYS: usize = 512;
+/// Sentinel line key meaning "empty front slot" (no real line maps to it:
+/// a line index is an address shifted right by 8, so it is < 2^56).
+const FRONT_EMPTY: u64 = u64::MAX;
 
 impl MainMemory {
     /// Creates an empty (all-zero) memory image.
@@ -68,21 +86,57 @@ impl MainMemory {
         Self::default()
     }
 
+    fn front(&self) -> &[Cell<(u64, u32)>] {
+        // `Default` derives an empty box; materialize the table lazily is
+        // not possible under `&self`, so treat "empty" as "all misses".
+        &self.front
+    }
+
+    fn ensure_front(&mut self) {
+        if self.front.is_empty() {
+            self.front = (0..FRONT_WAYS)
+                .map(|_| Cell::new((FRONT_EMPTY, 0)))
+                .collect();
+        }
+    }
+
+    /// Finds the arena slot for a line, if it has ever been stored to.
+    #[inline]
+    fn slot_of(&self, line: LineAddr) -> Option<u32> {
+        let key = line.index();
+        let front = self.front();
+        if front.is_empty() {
+            return self.index.get(&line).copied();
+        }
+        let way = &front[key as usize & (FRONT_WAYS - 1)];
+        let (ck, cs) = way.get();
+        if ck == key {
+            return Some(cs);
+        }
+        let slot = self.index.get(&line).copied();
+        if let Some(s) = slot {
+            way.set((key, s));
+        }
+        slot
+    }
+
     /// Number of lines that have been touched (allocated).
     pub fn resident_lines(&self) -> usize {
-        self.lines.len()
+        self.index.len()
     }
 
     /// Reads `buf.len()` bytes starting at `addr`. The access may span lines;
-    /// each line touched costs one map lookup.
+    /// each line touched costs one (cached) map lookup.
     pub fn load_bytes(&self, addr: Address, buf: &mut [u8]) {
         let mut i = 0;
         while i < buf.len() {
             let a = addr.add(i as u64);
             let off = a.offset_in_line() as usize;
             let n = (LINE_SIZE as usize - off).min(buf.len() - i);
-            match self.lines.get(&a.line()) {
-                Some(line) => buf[i..i + n].copy_from_slice(&line[off..off + n]),
+            match self.slot_of(a.line()) {
+                Some(slot) => {
+                    buf[i..i + n].copy_from_slice(&self.arena[slot as usize][off..off + n])
+                }
                 None => buf[i..i + n].fill(0),
             }
             i += n;
@@ -90,24 +144,43 @@ impl MainMemory {
     }
 
     /// Writes `buf` starting at `addr`. The access may span lines; each line
-    /// touched costs one map lookup.
+    /// touched costs one (cached) map lookup.
     pub fn store_bytes(&mut self, addr: Address, buf: &[u8]) {
         let mut i = 0;
         while i < buf.len() {
             let a = addr.add(i as u64);
             let off = a.offset_in_line() as usize;
             let n = (LINE_SIZE as usize - off).min(buf.len() - i);
-            let line = self
-                .lines
-                .entry(a.line())
-                .or_insert_with(|| Box::new([0u8; LINE_SIZE as usize]));
-            line[off..off + n].copy_from_slice(&buf[i..i + n]);
+            let slot = match self.slot_of(a.line()) {
+                Some(s) => s,
+                None => {
+                    self.ensure_front();
+                    let s = u32::try_from(self.arena.len()).expect("arena slot overflow");
+                    self.arena.push([0u8; LINE_SIZE as usize]);
+                    self.index.insert(a.line(), s);
+                    self.front()[a.line().index() as usize & (FRONT_WAYS - 1)]
+                        .set((a.line().index(), s));
+                    s
+                }
+            };
+            self.arena[slot as usize][off..off + n].copy_from_slice(&buf[i..i + n]);
             i += n;
         }
     }
 
     /// Reads a big-endian `u64` (z/Architecture is big-endian).
     pub fn load_u64(&self, addr: Address) -> u64 {
+        let off = addr.offset_in_line() as usize;
+        if off + 8 <= LINE_SIZE as usize {
+            // Within one line: a single slot lookup and a fixed-size read.
+            return match self.slot_of(addr.line()) {
+                Some(slot) => {
+                    let line = &self.arena[slot as usize];
+                    u64::from_be_bytes(line[off..off + 8].try_into().expect("8-byte slice"))
+                }
+                None => 0,
+            };
+        }
         let mut buf = [0u8; 8];
         self.load_bytes(addr, &mut buf);
         u64::from_be_bytes(buf)
@@ -133,8 +206,8 @@ impl MainMemory {
     /// Returns a copy of the full line containing `addr` (zero-filled if
     /// untouched).
     pub fn line_contents(&self, line: LineAddr) -> [u8; LINE_SIZE as usize] {
-        match self.lines.get(&line) {
-            Some(l) => **l,
+        match self.slot_of(line) {
+            Some(slot) => self.arena[slot as usize],
             None => [0u8; LINE_SIZE as usize],
         }
     }

@@ -34,6 +34,10 @@ pub struct PageTable {
     evicted: HashSet<PageAddr>,
     /// Count of faults taken, for statistics.
     faults: u64,
+    /// Bumped on every residency change ([`evict`](Self::evict) /
+    /// [`page_in`](Self::page_in)). A cached "this address was resident"
+    /// verdict stays valid exactly while the epoch is unchanged.
+    epoch: u64,
 }
 
 impl PageTable {
@@ -73,11 +77,18 @@ impl PageTable {
     /// Marks a page non-resident.
     pub fn evict(&mut self, page: PageAddr) {
         self.evicted.insert(page);
+        self.epoch += 1;
     }
 
     /// Marks a page resident (models the OS paging it in).
     pub fn page_in(&mut self, page: PageAddr) {
         self.evicted.remove(&page);
+        self.epoch += 1;
+    }
+
+    /// The residency epoch (see the `epoch` field).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// Whether the given page is resident.
