@@ -2,7 +2,11 @@
 //!
 //! Expected shape (paper): with the global lock, throughput is flat as
 //! threads are added; with transactional lock elision it grows almost
-//! linearly.
+//! linearly. The unsynchronized column is the no-coordination upper bound
+//! (it loses updates under contention — never a correctness baseline), and
+//! its single-CPU run yields the measured-IPC headline: with
+//! `ZTM_ISSUE_WIDTH` > 1 the issue window makes IPC an output of the
+//! model rather than a configured constant.
 
 use std::time::Instant;
 use ztm_bench::{
@@ -13,6 +17,20 @@ use ztm_sim::System;
 use ztm_trace::{Recorder, Tracer};
 use ztm_workloads::hashtable::{HashTable, TableMethod};
 
+/// Parses `ZTM_FIG5E_THREADS=a,b,c`, skipping empty segments (so trailing
+/// commas like `"36,"` are fine) and naming the offending token on error.
+fn parse_threads(list: &str) -> Vec<usize> {
+    list.split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(|s| {
+            s.parse().unwrap_or_else(|_| {
+                panic!("ZTM_FIG5E_THREADS: expected a list of thread counts, bad token {s:?}")
+            })
+        })
+        .collect()
+}
+
 fn main() {
     println!("Fig 5(e): java/util/Hashtable-style lock elision (20% puts)");
     println!("(throughput normalized to 1 thread under the global lock)");
@@ -20,29 +38,38 @@ fn main() {
     // `ZTM_FIG5E_THREADS=a,b,c` overrides the sweep (e.g. a single 36-CPU
     // point for scheduler-scaling measurements).
     let threads: Vec<usize> = match std::env::var("ZTM_FIG5E_THREADS") {
-        Ok(list) => list
-            .split(',')
-            .map(|s| s.trim().parse().expect("ZTM_FIG5E_THREADS: usize list"))
-            .collect(),
+        Ok(list) => parse_threads(&list),
         // Full-topology tier: elide across the whole 144-CPU machine.
         Err(_) if full() => cpu_counts(),
         Err(_) if quick() => vec![1, 2, 4, 6],
         Err(_) => vec![1, 2, 3, 4, 5, 6, 7, 8],
     };
+    assert!(
+        !threads.is_empty(),
+        "ZTM_FIG5E_THREADS: no thread counts given"
+    );
     // One sweep point per (method, thread-count) cell, plus the 1-thread
-    // global-lock normalization base at index 0; each worker times its run
-    // so the exported timing covers every simulation this binary does.
-    let mut points = vec![(TableMethod::GlobalLock, 1)];
+    // global-lock normalization base at index 0 and the 1-CPU unsync IPC
+    // point at the end; each worker times its run so the exported timing
+    // covers every simulation this binary does. The IPC point runs long
+    // enough to amortize cold-start cache misses — IPC is a steady-state
+    // property, and the table's short runs are dominated by cold fills.
+    let short = |cpus: usize| ops_for(cpus).min(150);
+    let mut points = vec![(TableMethod::GlobalLock, 1, short(1))];
     for &n in &threads {
-        points.push((TableMethod::GlobalLock, n));
-        points.push((TableMethod::Elision, n));
+        points.push((TableMethod::GlobalLock, n, short(n)));
+        points.push((TableMethod::Elision, n, short(n)));
+        points.push((TableMethod::Unsync, n, short(n)));
     }
-    let results = sweep(points, |&(method, cpus)| {
+    // 25k ops amortize the ~300 cold line fills (~600 cycles each) that
+    // otherwise dominate: the warm core runs at ~1.4 IPC with width 3.
+    points.push((TableMethod::Unsync, 1, 25_000));
+    let results = sweep(points, |&(method, cpus, ops)| {
         let t = HashTable::new(512, 2048, 20, method);
         let mut sys = System::new(system_config(cpus).seed(42));
         let t0 = Instant::now();
         t.populate(&mut sys, &(0..1024).collect::<Vec<_>>());
-        let rep = t.run(&mut sys, ops_for(cpus).min(150));
+        let rep = t.run(&mut sys, ops);
         (rep.throughput(), rep.system, t0.elapsed())
     });
     let mut timing = Timing::default();
@@ -50,13 +77,18 @@ fn main() {
         timing.add_run(*wall, report);
     }
     let base = results[0].0;
-    print_header("threads", &["Locks", "TBEGIN"]);
-    let (mut lock_top, mut elision_top) = (0.0, 0.0);
+    print_header("threads", &["Locks", "TBEGIN", "Unsync"]);
+    let (mut lock_top, mut elision_top, mut unsync_top) = (0.0, 0.0, 0.0);
     for (i, &n) in threads.iter().enumerate() {
-        lock_top = results[1 + 2 * i].0 / base;
-        elision_top = results[2 + 2 * i].0 / base;
-        print_row(n, &[lock_top, elision_top]);
+        lock_top = results[1 + 3 * i].0 / base;
+        elision_top = results[2 + 3 * i].0 / base;
+        unsync_top = results[3 + 3 * i].0 / base;
+        print_row(n, &[lock_top, elision_top, unsync_top]);
     }
+    // The single-CPU unsync run: IPC with no synchronization and no other
+    // CPU's clock in the max, i.e. the core's own issue rate.
+    let ipc = results.last().unwrap().1.ipc();
+    println!("\nmeasured IPC (1-CPU unsync row): {ipc:.3}");
     // Re-run the widest elision point traced for the metrics trajectory
     // (serial: the recorder is thread-local by construction).
     let top = *threads.last().unwrap();
@@ -75,7 +107,9 @@ fn main() {
             ("threads", top as f64),
             ("lock_normalized", lock_top),
             ("elision_normalized", elision_top),
+            ("unsync_normalized", unsync_top),
             ("elision_speedup", elision_top / lock_top),
+            ("unsync_ipc", ipc),
         ],
         Some(&rec),
         Some(&timing),

@@ -82,6 +82,13 @@ fn main() {
     sys.load_program_all(&alu_prog());
     time_steps(&mut sys, n, "alu 36cpu");
 
+    // 4a. Same ALU loop through the width-3 issue window: the scoreboard's
+    // host overhead on the cheapest possible bracket.
+    let mut sys = System::new(SystemConfig::with_cpus(1).seed(42));
+    sys.set_issue_width(3);
+    sys.load_program(0, &alu_prog());
+    time_steps(&mut sys, n, "alu 1cpu w3");
+
     // 4b. Varied-line loads, one CPU: L1 hits on rotating lines (hot-miss
     // row scans), no coherence traffic.
     let mut a = Assembler::new(0);
@@ -134,4 +141,18 @@ fn main() {
         sys.core_mut(i).set_gr(R7, arena);
     }
     time_steps(&mut sys, n, "fig5e elision 36cpu");
+
+    // 5b. The same elision shape through the width-3 window: what the
+    // pipelined mode costs on the real mix (scoreboard + drain churn).
+    let table = HashTable::new(256, 1024, 20, TableMethod::Elision);
+    let mut sys = System::new(SystemConfig::with_cpus(36).seed(42));
+    sys.set_issue_width(3);
+    table.populate(&mut sys, &(0..1024).collect::<Vec<_>>());
+    let prog = table.program(1_000_000);
+    sys.load_program_all(&prog);
+    for i in 0..sys.cpus() {
+        let arena = 0x2000_0000u64 + i as u64 * 0x10_0000;
+        sys.core_mut(i).set_gr(R7, arena);
+    }
+    time_steps(&mut sys, n, "fig5e elision 36cpu w3");
 }

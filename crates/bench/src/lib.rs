@@ -80,14 +80,28 @@ pub fn system_config(cpus: usize) -> SystemConfig {
     cfg
 }
 
-/// Result-file name for the current tier: full-topology artifacts get a
-/// `_full` suffix so they sit next to (never overwrite) the default tier's.
+/// Result-file name for the current tier: pipelined runs
+/// (`ZTM_ISSUE_WIDTH` > 1) get a `_w<width>` suffix and full-topology
+/// artifacts a `_full` suffix, so variant artifacts sit next to (never
+/// overwrite) the default tier's.
 pub fn bench_tag(name: &str) -> String {
-    if full() {
-        format!("{name}_full")
-    } else {
-        name.to_string()
+    let mut tag = name.to_string();
+    if let Some(w) = issue_width() {
+        tag.push_str(&format!("_w{w}"));
     }
+    if full() {
+        tag.push_str("_full");
+    }
+    tag
+}
+
+/// The pipeline issue width in effect, when above 1 (`ZTM_ISSUE_WIDTH`;
+/// parse errors are left to `System::new`, which fails loudly on them).
+pub fn issue_width() -> Option<u64> {
+    std::env::var("ZTM_ISSUE_WIDTH")
+        .ok()
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .filter(|&w| w > 1)
 }
 
 /// Worker-thread count for [`sweep`]: `ZTM_BENCH_THREADS` if set (≥ 1),
@@ -287,7 +301,20 @@ pub fn write_bench_json(
     timing: Option<&Timing>,
 ) -> std::io::Result<PathBuf> {
     let dir = PathBuf::from(std::env::var("ZTM_RESULTS_DIR").unwrap_or_else(|_| "results".into()));
-    std::fs::create_dir_all(&dir)?;
+    write_bench_json_to(&dir, name, headlines, recorder, timing)
+}
+
+/// [`write_bench_json`] with an explicit target directory — the testable
+/// core (tests must not mutate `ZTM_RESULTS_DIR`, which is process-global
+/// and races with any parallel test reading it).
+pub fn write_bench_json_to(
+    dir: &std::path::Path,
+    name: &str,
+    headlines: &[(&str, f64)],
+    recorder: Option<&Recorder>,
+    timing: Option<&Timing>,
+) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
     let path = dir.join(format!("BENCH_{name}.json"));
     let mut body = String::from("{\n");
     body.push_str(&format!("  \"bench\": \"{name}\",\n"));
@@ -355,19 +382,20 @@ mod tests {
 
     #[test]
     fn bench_json_exports_headlines_and_metrics() {
+        // Inject the directory explicitly — mutating `ZTM_RESULTS_DIR` here
+        // would race with parallel tests (env vars are process-global).
         let dir = std::env::temp_dir().join("ztm-bench-json-test");
-        std::env::set_var("ZTM_RESULTS_DIR", &dir);
         let (report, recorder) = run_pool_traced(SyncMethod::Tbegin, 2, 4, 1, 7);
         let mut timing = Timing::default();
         timing.add_run(std::time::Duration::from_millis(5), &report.system);
-        let path = write_bench_json(
+        let path = write_bench_json_to(
+            &dir,
             "test",
             &[("cycles_per_op", report.avg_op_cycles())],
             Some(&recorder.borrow()),
             Some(&timing),
         )
         .unwrap();
-        std::env::remove_var("ZTM_RESULTS_DIR");
         let text = std::fs::read_to_string(&path).unwrap();
         assert!(text.contains("\"cycles_per_op\""));
         assert!(text.contains("\"abort_codes\""), "{text}");

@@ -32,6 +32,12 @@ pub struct LatencyModel {
     /// Delay before a requester repeats an access whose XI was rejected
     /// ("stiff-armed") by the owning CPU.
     pub xi_reject_retry: u64,
+    /// Memory operations the LSU can issue per cycle. The zEC12 core has
+    /// two load/store pipes (§II.B); the pipeline window
+    /// (`ztm_isa::IssueWindow`) caps overlap with it. An access *issues*
+    /// against a port for one cycle while its completion (the latencies
+    /// above) proceeds in flight — issue and completion are decoupled.
+    pub lsu_ports: u64,
 }
 
 impl LatencyModel {
@@ -46,6 +52,7 @@ impl LatencyModel {
             memory: 600,
             intervention: 15,
             xi_reject_retry: 40,
+            lsu_ports: 2,
         }
     }
 

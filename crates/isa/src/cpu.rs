@@ -150,7 +150,7 @@ pub fn step_legacy(core: &mut CpuCore, prog: &Program, m: &mut impl Machine) -> 
     out
 }
 
-fn step_inner(core: &mut CpuCore, prog: &Program, m: &mut impl Machine) -> StepOutcome {
+pub(crate) fn step_inner(core: &mut CpuCore, prog: &Program, m: &mut impl Machine) -> StepOutcome {
     if !core.is_running() {
         return StepOutcome {
             cycles: 0,

@@ -51,6 +51,7 @@ mod disasm;
 mod instr;
 mod machine;
 mod per;
+mod pipeline;
 mod reg;
 
 pub use asm::{AsmError, Assembler, Program};
@@ -62,4 +63,5 @@ pub use machine::{
     OsDisposition, OsModel, SimpleMachine,
 };
 pub use per::PerControls;
+pub use pipeline::{step_pipelined, IssueReport, IssueWindow, StallReason};
 pub use reg::{gr, CpuCore, CpuState, HaltReason, Reg};

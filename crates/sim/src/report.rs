@@ -25,6 +25,20 @@ impl SystemReport {
     pub fn abort_rate(&self) -> f64 {
         self.tx.abort_rate()
     }
+
+    /// Instructions per elapsed cycle. With the pipeline window engaged
+    /// (`ZTM_ISSUE_WIDTH` > 1) this is a *measured* output of the issue
+    /// model, not a configured constant; above 1.0 it demonstrates
+    /// same-cycle co-issue. Note it aggregates across CPUs against the
+    /// single max clock, so on multi-CPU runs it is `cpus ×` the per-core
+    /// rate. Zero when nothing has run.
+    pub fn ipc(&self) -> f64 {
+        if self.elapsed_cycles == 0 {
+            0.0
+        } else {
+            self.total_instructions as f64 / self.elapsed_cycles as f64
+        }
+    }
 }
 
 #[cfg(test)]

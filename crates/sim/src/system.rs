@@ -160,6 +160,31 @@ pub struct System {
     /// Event tracer ([`ztm_trace`]); disabled by default.
     tracer: Tracer,
     steps: u64,
+    /// Per-core in-order issue windows. `None` (the default) routes steps
+    /// through the scalar retirement path; engaged by `ZTM_ISSUE_WIDTH` > 1
+    /// or [`set_issue_width`](Self::set_issue_width). Functional execution
+    /// is identical either way — the window only re-times retirement
+    /// (see `ztm_isa::step_pipelined`).
+    pipeline: Option<PipelineState>,
+}
+
+/// The issue windows plus the width they were built with (cached for trace
+/// emission without re-asking each window).
+#[derive(Debug)]
+struct PipelineState {
+    width: u64,
+    windows: Vec<ztm_isa::IssueWindow>,
+}
+
+impl PipelineState {
+    fn new(width: u64, cpus: usize, lsu_ports: u64) -> PipelineState {
+        PipelineState {
+            width,
+            windows: (0..cpus)
+                .map(|_| ztm_isa::IssueWindow::new(width, lsu_ports))
+                .collect(),
+        }
+    }
 }
 
 impl System {
@@ -199,7 +224,11 @@ impl System {
             hot_dirty: false,
             // Debug lever: `ZTM_LEGACY_INTERP=1` routes every system through
             // the legacy walk (results are identical, only speed differs).
-            use_legacy_interpreter: std::env::var_os("ZTM_LEGACY_INTERP").is_some(),
+            // Like every other `ZTM_*` switch, only the value "1" engages it
+            // — `ZTM_LEGACY_INTERP=0` must mean off.
+            use_legacy_interpreter: std::env::var("ZTM_LEGACY_INTERP")
+                .map(|v| v == "1")
+                .unwrap_or(false),
             programs: vec![None; cpus],
             quiesce: None,
             ready: BinaryHeap::with_capacity(cpus + 1),
@@ -209,7 +238,21 @@ impl System {
             trace_capacity: 10_000,
             tracer: Tracer::disabled(),
             steps: 0,
+            pipeline: Self::issue_width_from_env()
+                .map(|w| PipelineState::new(w, cpus, config.latency.lsu_ports)),
             config,
+        }
+    }
+
+    /// Reads `ZTM_ISSUE_WIDTH`. Absent or `1` → `None` (the scalar path is
+    /// already exactly width 1); `> 1` → engage the pipeline window; anything
+    /// else is a configuration error worth failing loudly on.
+    fn issue_width_from_env() -> Option<u64> {
+        let v = std::env::var("ZTM_ISSUE_WIDTH").ok()?;
+        match v.trim().parse::<u64>() {
+            Ok(1) => None,
+            Ok(w) if w > 1 => Some(w),
+            _ => panic!("ZTM_ISSUE_WIDTH: expected a positive issue width, got {v:?}"),
         }
     }
 
@@ -257,6 +300,24 @@ impl System {
     /// identical outcomes — the differential tests flip this switch.
     pub fn set_legacy_interpreter(&mut self, legacy: bool) {
         self.use_legacy_interpreter = legacy;
+    }
+
+    /// Sets the in-order issue width (§II.B: the zEC12 core decodes three
+    /// instructions per cycle). Width 1 still routes through the pipeline
+    /// window — it must reduce exactly to the scalar path, and the lockstep
+    /// differential test pins that; widths above 1 let independent micro-ops
+    /// share a cycle so IPC becomes a measured output. Resets any existing
+    /// window state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero.
+    pub fn set_issue_width(&mut self, width: u64) {
+        self.pipeline = Some(PipelineState::new(
+            width,
+            self.cores.len(),
+            self.config.latency.lsu_ports,
+        ));
     }
 
     /// Rebuilds the node-major hot mirrors from the cores.
@@ -355,9 +416,16 @@ impl System {
     /// Packs a `(clock, cpu)` scheduling candidate into one `u64` whose
     /// natural ordering matches the tuple's: smallest clock first, ties
     /// toward the lowest CPU index. Clocks fit comfortably in 48 bits (a
-    /// simulation would need ~3 × 10¹⁴ cycles to overflow).
+    /// simulation would need ~3 × 10¹⁴ cycles to overflow), but an
+    /// overflowing clock would shift bits into the CPU field and silently
+    /// corrupt heap ordering — so the bound is a hard invariant, checked in
+    /// release builds too.
     fn pack_entry(clock: u64, cpu: usize) -> u64 {
-        debug_assert!(clock < 1 << 48 && cpu < 1 << 16);
+        assert!(
+            clock < 1 << 48,
+            "scheduler clock {clock} exceeds the 48-bit heap key range"
+        );
+        debug_assert!(cpu < 1 << 16);
         clock << 16 | cpu as u64
     }
 
@@ -464,11 +532,33 @@ impl System {
             };
             let traced = self.traced[i];
             let (pre_clock, pre_pc) = (self.hot_clock[i], self.cores[i].pc);
-            let out = if self.use_legacy_interpreter {
+            let out = if let Some(pl) = self.pipeline.as_mut() {
+                ztm_isa::step_pipelined(&mut self.cores[i], prog, &mut view, &mut pl.windows[i])
+            } else if self.use_legacy_interpreter {
                 ztm_isa::step_legacy(&mut self.cores[i], prog, &mut view)
             } else {
                 ztm_isa::step(&mut self.cores[i], prog, &mut view)
             };
+            // Pipeline trace events carry the retire-time clock. Only widths
+            // above 1 emit — the width-1 window is byte-identical to the
+            // scalar path and must leave digests untouched.
+            if let Some(pl) = self.pipeline.as_mut() {
+                if pl.width > 1 && self.tracer.is_enabled() {
+                    let rep = pl.windows[i].take_report();
+                    self.tracer.set_clock(self.cores[i].clock);
+                    if let Some(size) = rep.closed_group {
+                        let width = pl.width.min(255) as u8;
+                        self.tracer
+                            .emit_at(i as u16, || Event::IssueGroup { width, size });
+                    }
+                    if let Some((reason, waited)) = rep.stall {
+                        self.tracer.emit_at(i as u16, || Event::IssueStall {
+                            reason: reason.code(),
+                            waited,
+                        });
+                    }
+                }
+            }
             // Mirror the stepped core's hot state back into the node-major
             // arrays before any scheduling decision reads them.
             self.hot_clock[i] = self.cores[i].clock;
@@ -1202,6 +1292,25 @@ mod tests {
     use super::*;
     use crate::SystemConfig;
     use ztm_isa::{gr::*, Assembler, MemOperand};
+
+    #[test]
+    fn pack_entry_round_trips_up_to_the_48_bit_boundary() {
+        let max_clock = (1u64 << 48) - 1;
+        assert_eq!(System::unpack_entry(System::pack_entry(0, 0)), (0, 0));
+        assert_eq!(
+            System::unpack_entry(System::pack_entry(max_clock, 0xffff)),
+            (max_clock, 0xffff)
+        );
+        // Ordering: smallest clock first, ties toward the lowest CPU.
+        assert!(System::pack_entry(1, 0xffff) < System::pack_entry(2, 0));
+        assert!(System::pack_entry(5, 3) < System::pack_entry(5, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "48-bit heap key range")]
+    fn pack_entry_rejects_an_overflowing_clock() {
+        System::pack_entry(1 << 48, 0);
+    }
 
     /// Each CPU transactionally increments a shared counter `n` times,
     /// retrying forever on abort. Total must be exactly `cpus * n`.

@@ -203,6 +203,22 @@ pub enum Event {
         /// Queueing delay in cycles added by channel occupancy.
         queued: u64,
     },
+    /// The in-order pipeline window closed an issue group (emitted only
+    /// when the issue width is above 1, so width-1 streams are unchanged).
+    IssueGroup {
+        /// Configured issue width.
+        width: u8,
+        /// Instructions that issued together in the closed cycle.
+        size: u8,
+    },
+    /// An instruction's issue was delayed by a pipeline hazard.
+    IssueStall {
+        /// `ztm_isa::StallReason` code: 0 register, 1 condition code,
+        /// 2 store ordering.
+        reason: u8,
+        /// Cycles waited beyond the hazard-free issue cycle.
+        waited: u64,
+    },
 }
 
 impl Event {
@@ -226,6 +242,8 @@ impl Event {
             Event::TxAbort { .. } => "tx",
             Event::LadderStage { .. } => "ladder",
             Event::FabricOccupy { .. } => "fabric",
+            Event::IssueGroup { .. } => "issue-group",
+            Event::IssueStall { .. } => "issue-stall",
         }
     }
 
@@ -293,6 +311,8 @@ impl Event {
                 b(broadcast_stop)
             ),
             Event::FabricOccupy { queued } => format!("FO q={queued}"),
+            Event::IssueGroup { width, size } => format!("IG w={width} s={size}"),
+            Event::IssueStall { reason, waited } => format!("IS r={reason} w={waited}"),
         }
     }
 
@@ -385,6 +405,14 @@ impl Event {
                 broadcast_stop: get("b")? != 0,
             },
             "FO" => Event::FabricOccupy { queued: get("q")? },
+            "IG" => Event::IssueGroup {
+                width: get("w")? as u8,
+                size: get("s")? as u8,
+            },
+            "IS" => Event::IssueStall {
+                reason: get("r")? as u8,
+                waited: get("w")?,
+            },
             other => return Err(format!("unknown event tag {other:?}")),
         };
         Ok(ev)
@@ -590,6 +618,16 @@ pub struct Metrics {
     pub fabric_queued: u64,
     /// Total cycles of fabric queueing delay.
     pub fabric_queued_cycles: u64,
+    /// Pipeline issue groups closed (width > 1 only).
+    pub issue_groups: u64,
+    /// Instructions issued across all closed groups.
+    pub issue_group_instrs: u64,
+    /// Issue-group size histogram (instructions issued in one cycle).
+    pub issue_group_sizes: BTreeMap<u16, u64>,
+    /// Pipeline hazard stalls observed at issue.
+    pub issue_stalls: u64,
+    /// Total cycles spent waiting on issue hazards.
+    pub issue_stall_cycles: u64,
     /// Open outermost-begin clock per CPU (internal latency bookkeeping).
     open_begin: BTreeMap<u16, u64>,
 }
@@ -676,6 +714,15 @@ impl Metrics {
                     self.fabric_queued_cycles += queued;
                 }
             }
+            Event::IssueGroup { size, .. } => {
+                self.issue_groups += 1;
+                self.issue_group_instrs += size as u64;
+                *self.issue_group_sizes.entry(size as u16).or_insert(0) += 1;
+            }
+            Event::IssueStall { waited, .. } => {
+                self.issue_stalls += 1;
+                self.issue_stall_cycles += waited;
+            }
         }
     }
 
@@ -759,8 +806,16 @@ impl Metrics {
             self.ladder_broadcast_stop
         ));
         s.push_str(&format!(
-            "  \"fabric\": {{\"queued_transfers\": {}, \"queued_cycles\": {}}}\n",
+            "  \"fabric\": {{\"queued_transfers\": {}, \"queued_cycles\": {}}},\n",
             self.fabric_queued, self.fabric_queued_cycles
+        ));
+        s.push_str(&format!(
+            "  \"pipeline\": {{\"issue_groups\": {}, \"issue_group_instrs\": {}, \"group_sizes\": {}, \"stalls\": {}, \"stall_cycles\": {}}}\n",
+            self.issue_groups,
+            self.issue_group_instrs,
+            hist(&self.issue_group_sizes),
+            self.issue_stalls,
+            self.issue_stall_cycles
         ));
         s.push_str("}\n");
         s
@@ -1218,6 +1273,11 @@ mod tests {
                 broadcast_stop: false,
             },
             Event::FabricOccupy { queued: 12 },
+            Event::IssueGroup { width: 3, size: 2 },
+            Event::IssueStall {
+                reason: 1,
+                waited: 44,
+            },
         ]
     }
 

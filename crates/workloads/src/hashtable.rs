@@ -19,6 +19,10 @@ pub enum TableMethod {
     /// Figure 1 lock elision: transactions that test the global lock, with
     /// the lock as fallback.
     Elision,
+    /// No synchronization (upper bound; loses updates under contention).
+    /// Also the purest view of raw instruction throughput — the measured-IPC
+    /// headline comes from this row.
+    Unsync,
 }
 
 /// A chained hashtable in simulated memory, operated on by generated
@@ -191,6 +195,7 @@ impl HashTable {
         a.rdclk(convention::T_START);
         match self.method {
             TableMethod::GlobalLock => self.emit_locked(&mut a, "gl"),
+            TableMethod::Unsync => self.emit_op(&mut a, "un"),
             TableMethod::Elision => {
                 a.lghi(R0, 0);
                 a.label("tx_retry");
@@ -274,6 +279,18 @@ mod tests {
         let len = t.len(&sys);
         assert!(len >= 128, "puts only add");
         assert!(len <= 128 + 160);
+    }
+
+    #[test]
+    fn unsync_table_works_single_threaded() {
+        // With one CPU there is nothing to race with; the unsynchronized
+        // upper-bound row must behave exactly like a plain hashtable.
+        let t = table(TableMethod::Unsync);
+        let mut sys = System::new(SystemConfig::with_cpus(1));
+        t.populate(&mut sys, &(0..128).collect::<Vec<_>>());
+        let rep = t.run(&mut sys, 40);
+        assert_eq!(rep.committed_ops(), 40);
+        assert!((128..=128 + 40).contains(&t.len(&sys)));
     }
 
     #[test]

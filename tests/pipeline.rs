@@ -1,0 +1,157 @@
+//! Differential and determinism tests for the in-order issue window
+//! (`ztm-isa::pipeline`).
+//!
+//! The window is a timing overlay: functional execution stays exactly the
+//! scalar interpreter's, only the clock at which each instruction issues
+//! changes. Two properties pin it down:
+//!
+//! 1. At width 1 the pipelined path must be *byte-identical* to the scalar
+//!    retirement stream — same CPU scheduled each step, same
+//!    [`ztm::isa::StepOutcome`], same trace digest.
+//! 2. At width 3 the timing changes, but deterministically: the quick-mode
+//!    fig 5(e) traced point has a committed digest of its own, pinned here
+//!    and diffed in CI via `results/BENCH_fig5e_hashtable_w3.json`.
+
+use ztm::core::TbeginParams;
+use ztm::isa::gr::*;
+use ztm::isa::{Assembler, Instr, MemOperand, Program};
+use ztm::sim::{System, SystemConfig};
+use ztm::trace::{Recorder, Tracer};
+use ztm::workloads::hashtable::{HashTable, TableMethod};
+
+/// `results/BENCH_fig5e_hashtable_w3.json`: the fig 5(e) traced point
+/// (lock-elided hashtable, 6 CPUs, 1024 keys, 150 ops/CPU) stepped through
+/// the width-3 issue window.
+const FIG5E_W3_DIGEST: u64 = 0x760659ee57ac921a;
+
+/// A program exercising every interpreter path a well-formed workload can
+/// reach: contended stores, an elision-shaped transaction with fallback,
+/// CAS, branches, ALU, clock reads, and NTSTG (same kernel as the
+/// predecode differential).
+fn mixed_program() -> Program {
+    let mut a = Assembler::new(0);
+    a.lghi(R6, 250); // outer loop count
+    a.label("loop");
+    a.lg(R1, MemOperand::absolute(0x1000));
+    a.aghi(R1, 1);
+    a.stg(R1, MemOperand::absolute(0x1000));
+    a.tbegin(TbeginParams::new());
+    a.jnz("fallback");
+    a.ltg(R2, MemOperand::absolute(0x2000)); // "lock" word, stays 0
+    a.jnz("fallback");
+    a.lg(R3, MemOperand::absolute(0x3000));
+    a.aghi(R3, 3);
+    a.stg(R3, MemOperand::absolute(0x3000));
+    a.ntstg(R3, MemOperand::absolute(0x3800));
+    a.etnd(R4);
+    a.tend();
+    a.j("joined");
+    a.label("fallback");
+    a.ppa(R0);
+    a.delay(16);
+    a.label("joined");
+    a.lghi(R2, 0);
+    a.lghi(R3, 1);
+    a.csg(R2, R3, MemOperand::absolute(0x4000));
+    a.stg(R2, MemOperand::absolute(0x4000)); // reset for the next round
+    a.rdclk(R5);
+    a.push(Instr::Xgr(R5, R5));
+    a.sllg(R4, R6, 2);
+    a.cgij_ge(R4, 0, "counted");
+    a.label("counted");
+    a.stckf(MemOperand::absolute(0x5000));
+    a.brctg(R6, "loop");
+    a.halt();
+    a.assemble().expect("mixed program assembles")
+}
+
+/// Builds a 4-CPU system running [`mixed_program`] with a recording tracer,
+/// optionally routed through a width-1 issue window.
+fn mixed_system(width1_window: bool) -> (System, std::rc::Rc<std::cell::RefCell<Recorder>>) {
+    let mut sys = System::new(SystemConfig::with_cpus(4).seed(42));
+    if width1_window {
+        sys.set_issue_width(1);
+    }
+    let (tracer, recorder) = Tracer::recording(Recorder::DEFAULT_CAPACITY);
+    sys.set_tracer(tracer);
+    sys.load_program_all(&mixed_program());
+    (sys, recorder)
+}
+
+/// The width-1 pipeline and the scalar interpreter must agree on every
+/// single step: same CPU scheduled, same outcome (cycles, event,
+/// broadcast-stop), and the same trace digest at the end.
+#[test]
+fn width_1_window_locksteps_with_the_scalar_interpreter() {
+    let (mut piped, piped_rec) = mixed_system(true);
+    let (mut scalar, scalar_rec) = mixed_system(false);
+    let mut steps = 0u64;
+    loop {
+        let a = piped.step_one();
+        let b = scalar.step_one();
+        assert_eq!(a, b, "divergence at step {steps}");
+        steps += 1;
+        if a.is_none() {
+            break;
+        }
+        assert!(steps < 2_000_000, "mixed program failed to halt");
+    }
+    assert!(
+        steps > 10_000,
+        "program too short to be a meaningful differential"
+    );
+    assert_eq!(piped_rec.borrow().digest(), scalar_rec.borrow().digest());
+}
+
+/// Same check through a full workload driver (the lock-elided hashtable of
+/// Fig 5(e)), where aborts, retries, and the fallback lock all fire.
+#[test]
+fn width_1_window_agrees_on_the_elision_hashtable() {
+    let run = |width1_window: bool| {
+        let t = HashTable::new(512, 2048, 20, TableMethod::Elision);
+        let mut sys = System::new(SystemConfig::with_cpus(4).seed(42));
+        if width1_window {
+            sys.set_issue_width(1);
+        }
+        let (tracer, recorder) = Tracer::recording(Recorder::DEFAULT_CAPACITY);
+        sys.set_tracer(tracer);
+        t.populate(&mut sys, &(0..256).collect::<Vec<_>>());
+        let rep = t.run(&mut sys, 60);
+        let digest = recorder.borrow().digest();
+        (rep.system.steps, rep.system.elapsed_cycles, digest)
+    };
+    assert_eq!(run(true), run(false));
+}
+
+/// The width-3 fig 5(e) quick traced point: deterministic, pinned to the
+/// digest committed in `results/BENCH_fig5e_hashtable_w3.json`, and
+/// genuinely faster than the scalar timing (overlap happened).
+#[test]
+fn fig5e_width_3_digest_matches_the_committed_baseline() {
+    let run = || {
+        let t = HashTable::new(512, 2048, 20, TableMethod::Elision);
+        let mut sys = System::new(SystemConfig::with_cpus(6).seed(42));
+        sys.set_issue_width(3);
+        let (tracer, recorder) = Tracer::recording(Recorder::DEFAULT_CAPACITY);
+        sys.set_tracer(tracer);
+        t.populate(&mut sys, &(0..1024).collect::<Vec<_>>());
+        let rep = t.run(&mut sys, 150);
+        let digest = recorder.borrow().digest();
+        (digest, rep.system.elapsed_cycles)
+    };
+    let (digest, w3_cycles) = run();
+    assert_eq!(run().0, digest, "width-3 stepping must be deterministic");
+    assert_eq!(digest, FIG5E_W3_DIGEST);
+
+    // The same point at scalar timing takes longer: the window overlapped
+    // real work, it didn't just relabel clocks.
+    let t = HashTable::new(512, 2048, 20, TableMethod::Elision);
+    let mut sys = System::new(SystemConfig::with_cpus(6).seed(42));
+    t.populate(&mut sys, &(0..1024).collect::<Vec<_>>());
+    let rep = t.run(&mut sys, 150);
+    assert!(
+        w3_cycles < rep.system.elapsed_cycles,
+        "width 3 ({w3_cycles}) must beat scalar ({})",
+        rep.system.elapsed_cycles
+    );
+}
