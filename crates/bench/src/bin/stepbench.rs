@@ -11,7 +11,9 @@
 
 use std::time::Instant;
 use ztm_isa::{gr::*, Assembler, MemOperand};
+use ztm_mem::Address;
 use ztm_sim::{System, SystemConfig};
+use ztm_trace::{Recorder, Tracer};
 use ztm_workloads::hashtable::{HashTable, TableMethod};
 
 fn spin_prog() -> ztm_isa::Program {
@@ -34,6 +36,36 @@ fn alu_prog() -> ztm_isa::Program {
     a.aghi(R2, 1);
     a.aghi(R2, 1);
     a.aghi(R2, 1);
+    a.brctg(R6, "loop");
+    a.halt();
+    a.assemble().unwrap()
+}
+
+/// Eight loads at different offsets of ONE line — the struct-walk shape the
+/// line-window coalescing targets (every load after the first can skip the
+/// directory walk).
+fn burst_prog() -> ztm_isa::Program {
+    let mut a = Assembler::new(0);
+    a.lghi(R6, 1_000_000_000);
+    a.label("loop");
+    for k in 0..8 {
+        a.lg(R1, MemOperand::absolute(0x10_000 + k * 8));
+    }
+    a.brctg(R6, "loop");
+    a.halt();
+    a.assemble().unwrap()
+}
+
+/// Eight loads rotating across eight different lines — every access lands
+/// on a different line than its predecessor, so the line window always
+/// misses and the full (L1-hit) directory walk runs each time.
+fn rotating_prog() -> ztm_isa::Program {
+    let mut a = Assembler::new(0);
+    a.lghi(R6, 1_000_000_000);
+    a.label("loop");
+    for k in 0..8 {
+        a.lg(R1, MemOperand::absolute(0x10_000 + k * 256));
+    }
     a.brctg(R6, "loop");
     a.halt();
     a.assemble().unwrap()
@@ -91,16 +123,8 @@ fn main() {
 
     // 4b. Varied-line loads, one CPU: L1 hits on rotating lines (hot-miss
     // row scans), no coherence traffic.
-    let mut a = Assembler::new(0);
-    a.lghi(R6, 1_000_000_000);
-    a.label("loop");
-    for k in 0..8 {
-        a.lg(R1, MemOperand::absolute(0x10_000 + k * 256));
-    }
-    a.brctg(R6, "loop");
-    a.halt();
     let mut sys = System::new(SystemConfig::with_cpus(1).seed(42));
-    sys.load_program(0, &a.assemble().unwrap());
+    sys.load_program(0, &rotating_prog());
     time_steps(&mut sys, n, "varied loads 1cpu");
 
     // 4c. Lock handoff: every CPU csg/stg's one line — XI storm.
@@ -131,16 +155,32 @@ fn main() {
     }
     time_steps(&mut sys, n, "fig5e lock 36cpu");
 
-    let table = HashTable::new(256, 1024, 20, TableMethod::Elision);
-    let mut sys = System::new(SystemConfig::with_cpus(36).seed(42));
-    table.populate(&mut sys, &(0..1024).collect::<Vec<_>>());
-    let prog = table.program(1_000_000);
-    sys.load_program_all(&prog);
-    for i in 0..sys.cpus() {
-        let arena = 0x2000_0000u64 + i as u64 * 0x10_0000;
-        sys.core_mut(i).set_gr(R7, arena);
+    // The elision shape per tracing tier: untraced, the digest-only sink,
+    // and a full recorder. This is the "what does tracing cost on the real
+    // mix" attribution behind the digest-only export path.
+    for sink in ["untraced", "digest", "recorder"] {
+        let table = HashTable::new(256, 1024, 20, TableMethod::Elision);
+        let mut sys = System::new(SystemConfig::with_cpus(36).seed(42));
+        match sink {
+            "digest" => {
+                let (tracer, _sink) = Tracer::digest_only();
+                sys.set_tracer(tracer);
+            }
+            "recorder" => {
+                let (tracer, _rec) = Tracer::recording(Recorder::DEFAULT_CAPACITY);
+                sys.set_tracer(tracer);
+            }
+            _ => {}
+        }
+        table.populate(&mut sys, &(0..1024).collect::<Vec<_>>());
+        let prog = table.program(1_000_000);
+        sys.load_program_all(&prog);
+        for i in 0..sys.cpus() {
+            let arena = 0x2000_0000u64 + i as u64 * 0x10_0000;
+            sys.core_mut(i).set_gr(R7, arena);
+        }
+        time_steps(&mut sys, n, &format!("fig5e elision 36cpu {sink}"));
     }
-    time_steps(&mut sys, n, "fig5e elision 36cpu");
 
     // 5b. The same elision shape through the width-3 window: what the
     // pipelined mode costs on the real mix (scoreboard + drain churn).
@@ -155,4 +195,42 @@ fn main() {
         sys.core_mut(i).set_gr(R7, arena);
     }
     time_steps(&mut sys, n, "fig5e elision 36cpu w3");
+
+    // 6. Coalescing × tracing attribution grid. Two memory shapes — the
+    // same-line burst (where the line window serves 7 of 8 loads) and
+    // rotating lines (where it never hits) — each with coalescing on/off
+    // ("coal"/"walk") and with no tracer, the digest-only sink, and a full
+    // recorder attached. The grid isolates both tentpole optimizations:
+    // burst coal-vs-walk is the coalescing win, and per-sink columns show
+    // what each tracing tier costs per step.
+    for (shape, prog, stride) in [
+        ("burst", burst_prog(), 8u64),
+        ("rotate", rotating_prog(), 256),
+    ] {
+        for coalesce in [true, false] {
+            for sink in ["untraced", "digest", "recorder"] {
+                let mut sys = System::new(SystemConfig::with_cpus(1).seed(42));
+                sys.set_coalescing(coalesce);
+                // Struct walks read data somebody wrote: populate the lines
+                // so the loads hit allocated memory, as real workloads do.
+                for k in 0..8 {
+                    sys.io_store(Address::new(0x10_000 + k * stride), k + 1);
+                }
+                match sink {
+                    "digest" => {
+                        let (tracer, _sink) = Tracer::digest_only();
+                        sys.set_tracer(tracer);
+                    }
+                    "recorder" => {
+                        let (tracer, _rec) = Tracer::recording(Recorder::DEFAULT_CAPACITY);
+                        sys.set_tracer(tracer);
+                    }
+                    _ => {}
+                }
+                sys.load_program(0, &prog);
+                let mode = if coalesce { "coal" } else { "walk" };
+                time_steps(&mut sys, n, &format!("{shape} {mode} {sink} 1cpu"));
+            }
+        }
+    }
 }

@@ -159,6 +159,21 @@ impl PrivateCache {
         self.gen
     }
 
+    /// Whether `line` holds the hot (directory-wide MRU) slot of *both* the
+    /// L1 and the L2. When it does, a full repeat walk of the line would
+    /// re-stamp nothing at either level, so eliding the walk is LRU-pure —
+    /// the arming precondition for `ztm-sim`'s line-window coalescing.
+    pub fn line_is_hot(&self, line: LineAddr) -> bool {
+        self.l1.is_hot(line) && self.l2.is_hot(line)
+    }
+
+    /// The tx-read / tx-dirty marks of `line`'s L1 entry, or `None` when the
+    /// line is not L1-resident. A pure probe (no LRU effect); the line-window
+    /// fast path uses it to prove an elided in-tx walk would journal nothing.
+    pub fn l1_tx_marks(&self, line: LineAddr) -> Option<(bool, bool)> {
+        self.l1.peek(line).map(|e| (e.tx_read, e.tx_dirty))
+    }
+
     /// Re-emits the `Access` event a repeated L1-hit lookup of `line` would
     /// have produced, for callers that elide the directory walk itself.
     pub fn emit_repeat_access(&self, line: LineAddr, store: bool) {

@@ -18,6 +18,10 @@ pub struct SystemReport {
     pub tx: TxStats,
     /// XIs sent, by kind: `[exclusive, demote, read-only, lru]`.
     pub xi_counts: [u64; 4],
+    /// Data accesses served by the line-window coalescing fast path without
+    /// a directory walk (zero under `ZTM_NO_COALESCE=1`). A host-speed
+    /// statistic: coalescing changes no simulated outcome.
+    pub coalesced_accesses: u64,
 }
 
 impl SystemReport {

@@ -49,23 +49,38 @@ struct Node {
     last_ifetch_installs: u64,
     /// Page-residency epoch observed at the `last_ifetch` fetch.
     last_ifetch_page_epoch: u64,
-    /// Key of the last completed non-transactional data access, arming the
-    /// repeat-access fast path in `View::prepare` (see there for the
-    /// validity argument).
-    last_data: Option<RepeatAccess>,
+    /// The line window armed by the last completed full data-access walk,
+    /// feeding the same-line coalescing fast path in `View::prepare` (see
+    /// there for the validity argument).
+    last_data: Option<LineWindow>,
+    /// Data accesses served by the line window without a directory walk.
+    coalesced: u64,
 }
 
-/// The shape of a completed data access plus the snapshots that keep its
-/// "this would hit the L1 again" verdict valid.
+/// A per-core *line window*: the data line the previous full directory walk
+/// resolved, plus the snapshots that keep its "an access to this line would
+/// hit the L1 with nothing to re-stamp" verdict valid. Armed only when the
+/// line ended the walk as the hot (MRU) slot of both private directories;
+/// any offset or length within the line is then served without walking.
 #[derive(Debug, Clone, Copy)]
-struct RepeatAccess {
-    addr: Address,
-    len: u8,
+struct LineWindow {
+    line: LineAddr,
+    /// Ownership level the arming walk established: an exclusive window
+    /// (`true`) serves stores and fetches, a shared one only fetches.
     excl: bool,
-    /// [`PrivateCache::generation`] observed when the access completed.
+    /// [`PrivateCache::generation`] observed when the walk completed.
     gen: u64,
-    /// [`PageTable::epoch`] observed when the access completed.
+    /// [`PageTable::epoch`] observed when the walk completed.
     page_epoch: u64,
+    /// [`MainMemory::line_slot`] of the window line, resolved lazily on the
+    /// first window hit (`None` = not looked up yet) so arming a window
+    /// that never gets hit costs no memory index probe. Slots are immutable
+    /// once allocated, so the resolved handle needs no revalidation: a
+    /// full-width load served by the window reads straight from the
+    /// committed arena. `Some(None)` means the line had never been stored
+    /// to at resolution time — such reads keep the normal zero-fill path,
+    /// which also stays correct if the line is allocated later.
+    slot: Option<Option<u32>>,
 }
 
 /// One record of the per-CPU execution trace (see [`System::set_trace`]).
@@ -166,6 +181,12 @@ pub struct System {
     /// is identical either way — the window only re-times retirement
     /// (see `ztm_isa::step_pipelined`).
     pipeline: Option<PipelineState>,
+    /// Same-line access coalescing (the line-window fast path in
+    /// `View::prepare`). On by default; `ZTM_NO_COALESCE=1` or
+    /// [`set_coalescing`](Self::set_coalescing) forces every data access
+    /// through the full directory walk. Results are identical either way —
+    /// only host speed differs (pinned by `tests/coalesce.rs`).
+    coalesce: bool,
 }
 
 /// The issue windows plus the width they were built with (cached for trace
@@ -207,6 +228,7 @@ impl System {
                 last_ifetch_installs: 0,
                 last_ifetch_page_epoch: 0,
                 last_data: None,
+                coalesced: 0,
             })
             .collect();
         let fabric = match config.l3_geometry {
@@ -240,6 +262,12 @@ impl System {
             steps: 0,
             pipeline: Self::issue_width_from_env()
                 .map(|w| PipelineState::new(w, cpus, config.latency.lsu_ports)),
+            // Escape hatch: `ZTM_NO_COALESCE=1` disables the line-window
+            // fast path. Only the value "1" engages it (the `ZTM_*`
+            // convention — `ZTM_NO_COALESCE=0` must mean coalescing on).
+            coalesce: std::env::var("ZTM_NO_COALESCE")
+                .map(|v| v != "1")
+                .unwrap_or(true),
             config,
         }
     }
@@ -300,6 +328,20 @@ impl System {
     /// identical outcomes — the differential tests flip this switch.
     pub fn set_legacy_interpreter(&mut self, legacy: bool) {
         self.use_legacy_interpreter = legacy;
+    }
+
+    /// Enables or disables same-line access coalescing (on by default;
+    /// `ZTM_NO_COALESCE=1` starts systems with it off). Either setting
+    /// produces byte-identical simulations — the lockstep differential in
+    /// `tests/coalesce.rs` pins that — so this is a speed/debug lever, not a
+    /// behavior switch.
+    pub fn set_coalescing(&mut self, on: bool) {
+        self.coalesce = on;
+        if !on {
+            for n in &mut self.nodes {
+                n.last_data = None;
+            }
+        }
     }
 
     /// Sets the in-order issue width (§II.B: the zEC12 core decodes three
@@ -529,6 +571,8 @@ impl System {
                 pages: &mut self.pages,
                 fabric_busy: &mut self.fabric_busy,
                 config: &self.config,
+                coalesce: self.coalesce,
+                hit_slot: None,
             };
             let traced = self.traced[i];
             let (pre_clock, pre_pc) = (self.hot_clock[i], self.cores[i].pc);
@@ -742,6 +786,7 @@ impl System {
             stalls: self.nodes.iter().map(|n| n.stalls).sum(),
             tx,
             xi_counts: self.fabric.xi_counts(),
+            coalesced_accesses: self.nodes.iter().map(|n| n.coalesced).sum(),
         }
     }
 }
@@ -760,6 +805,13 @@ struct View<'a> {
     pages: &'a mut PageTable,
     fabric_busy: &'a mut [u64],
     config: &'a SystemConfig,
+    /// Same-line coalescing switch ([`System::set_coalescing`]).
+    coalesce: bool,
+    /// Committed-arena slot of the line the most recent [`View::prepare`]
+    /// served via the line window. Lets the data read that follows skip
+    /// the memory index probe; reset at the top of every `prepare`, so it
+    /// never outlives its access.
+    hit_slot: Option<u32>,
 }
 
 impl View<'_> {
@@ -787,6 +839,30 @@ impl View<'_> {
                 self.nodes[cpu.0].engine.note_footprint_event(ev);
             }
         }
+    }
+
+    /// Delivers a fetch plan's XIs to their targets in plan order: each
+    /// target's response is reported to the fabric and the footprint
+    /// consequences are forwarded to that target's engine. Returns `false`
+    /// the moment a target stiff-arms — the remaining XIs are not delivered
+    /// and the caller abandons the fetch (retry or silent drop).
+    fn deliver_plan_xis(&mut self, line: LineAddr, xis: Vec<(CpuId, XiKind)>) -> bool {
+        for (target, xikind) in xis {
+            let out = self.nodes[target.0].cache.handle_xi(Xi {
+                kind: xikind,
+                line,
+                from: Some(CpuId(self.cpu)),
+            });
+            let accepted = out.response == XiResponse::Accept;
+            self.fabric.apply_xi_result(target, line, xikind, accepted);
+            for ev in out.events {
+                self.nodes[target.0].engine.note_footprint_event(ev);
+            }
+            if !accepted {
+                return false;
+            }
+        }
+        true
     }
 
     /// Reserves a slot on this CPU's MCM fabric channel for one line
@@ -821,20 +897,8 @@ impl View<'_> {
             FetchKind::Shared
         };
         let plan = self.fabric.plan_fetch(CpuId(self.cpu), line, kind);
-        for (target, xikind) in plan.xis {
-            let out = self.nodes[target.0].cache.handle_xi(Xi {
-                kind: xikind,
-                line,
-                from: Some(CpuId(self.cpu)),
-            });
-            let accepted = out.response == XiResponse::Accept;
-            self.fabric.apply_xi_result(target, line, xikind, accepted);
-            for ev in out.events {
-                self.nodes[target.0].engine.note_footprint_event(ev);
-            }
-            if !accepted {
-                return Err(self.config.latency.xi_reject_retry);
-            }
+        if !self.deliver_plan_xis(line, plan.xis) {
+            return Err(self.config.latency.xi_reject_retry);
         }
         let lru = self.fabric.grant(CpuId(self.cpu), line, kind);
         self.deliver_lru_xis(lru);
@@ -873,20 +937,8 @@ impl View<'_> {
         let plan = self
             .fabric
             .plan_fetch(CpuId(self.cpu), next, FetchKind::Shared);
-        for (target, xikind) in plan.xis {
-            let out = self.nodes[target.0].cache.handle_xi(Xi {
-                kind: xikind,
-                line: next,
-                from: Some(CpuId(self.cpu)),
-            });
-            let accepted = out.response == XiResponse::Accept;
-            self.fabric.apply_xi_result(target, next, xikind, accepted);
-            for ev in out.events {
-                self.nodes[target.0].engine.note_footprint_event(ev);
-            }
-            if !accepted {
-                return;
-            }
+        if !self.deliver_plan_xis(next, plan.xis) {
+            return;
         }
         let lru = self.fabric.grant(CpuId(self.cpu), next, FetchKind::Shared);
         self.deliver_lru_xis(lru);
@@ -915,33 +967,95 @@ impl View<'_> {
         class: AccessClass,
         want_excl: bool,
     ) -> Result<u64, AccessResult> {
-        // Repeat-access fast path: spin loops poll the same address with the
-        // same access shape every few instructions. If nothing that could
-        // change the verdict has intervened — no XI or tx boundary on this
-        // CPU (generation), no page-residency change (epoch), not inside a
-        // transaction (marking and footprint tracking have side effects) —
-        // the full walk below would reproduce an L1 hit with no LRU stamps
-        // (the line is the hot slot in both directories, and repeat `get`s
-        // of the hot line do not re-stamp). Only the `Access` trace event
-        // remains observable, so emit it and skip the walk. Any access with
-        // a different shape replaces the key, which is why the CPU's own
-        // accesses need no generation bump.
         let excl = class == AccessClass::Store || want_excl;
-        let node = &self.nodes[self.cpu];
-        if let Some(k) = node.last_data {
-            if k.addr == addr
-                && k.len == len
-                && k.excl == excl
-                && k.gen == node.cache.generation()
-                && k.page_epoch == self.pages.epoch()
-                && !node.engine.in_tx()
-            {
-                node.cache.emit_repeat_access(addr.line(), excl);
-                return Ok(self.config.latency.l1_hit);
-            }
-        }
         if !addr.fits_in_line(len as u64) {
             return Err(AccessResult::Fault(ProgramException::Specification));
+        }
+        let line = addr.line();
+        self.hit_slot = None;
+        // Line-window coalescing: consecutive accesses to the same data line
+        // (field-by-field struct reads, adjacent stack pushes, spin polls)
+        // repeat the directory walk the previous access just completed. The
+        // walk can be skipped when its verdict provably recurs:
+        //
+        // - the window's line ended the arming walk as the hot (MRU) slot of
+        //   *both* private directories, and repeat lookups of the hot line
+        //   re-stamp nothing (`SetAssoc`'s hot-slot invariant), so the
+        //   elided walk is LRU-pure;
+        // - no XI, transaction boundary, or store-cache drain intervened on
+        //   this CPU since (`PrivateCache::generation`), and page residency
+        //   is unchanged (`PageTable::epoch`) — same line means same 4K
+        //   page, so the elided page check would succeed again;
+        // - the window's established ownership covers this access
+        //   (`w.excl || !excl`): an exclusive window serves stores and
+        //   fetches, a shared one only fetches;
+        // - inside a transaction, the line's L1 entry must already carry the
+        //   tx mark this access class would set, so the elided marking
+        //   transition and journal push are no-ops. The constrained-footprint
+        //   noting and the speculative-prefetch dice roll are NOT elidable —
+        //   they run here exactly as the full walk runs them.
+        //
+        // Only the `Access` trace event remains observable; emit it and skip
+        // the walk. `ZTM_NO_COALESCE=1` (or `set_coalescing(false)`) forces
+        // the full walk; `tests/coalesce.rs` pins both paths to each other
+        // per-step. A window can only exist while coalescing is enabled
+        // (arming is gated and `set_coalescing(false)` clears them), so the
+        // window presence check doubles as the switch check.
+        if let Some(w) = self.nodes[self.cpu].last_data {
+            let node = &mut self.nodes[self.cpu];
+            let tx = node.engine.in_tx();
+            let valid = w.line == line
+                && (w.excl || !excl)
+                && w.gen == node.cache.generation()
+                && w.page_epoch == self.pages.epoch()
+                && (!tx
+                    || node
+                        .cache
+                        .l1_tx_marks(line)
+                        .is_some_and(|(read, dirty)| match class {
+                            AccessClass::Fetch => read,
+                            AccessClass::Store => dirty,
+                        }));
+            if valid {
+                node.cache.emit_repeat_access(line, excl);
+                node.coalesced += 1;
+                self.hit_slot = match w.slot {
+                    Some(resolved) => resolved,
+                    None => {
+                        let resolved = self.mem.line_slot(line);
+                        if let Some(win) = self.nodes[self.cpu].last_data.as_mut() {
+                            win.slot = Some(resolved);
+                        }
+                        resolved
+                    }
+                };
+                if tx {
+                    if self.me().engine.note_data_access(addr, len as u64).is_err() {
+                        self.me()
+                            .engine
+                            .set_pending(AbortCause::UnfilteredProgramException(
+                                ProgramException::ConstraintViolation,
+                            ));
+                    }
+                    // The full walk would roll the speculative-prefetch dice
+                    // after resolving the access; the RNG stream (and any
+                    // resulting prefetch) must be preserved exactly. The
+                    // prefetch install can evict this very line without a
+                    // generation bump (it is this CPU's own access path), so
+                    // it drops the window.
+                    let prefetch_p = self.config.prefetch_probability;
+                    if class == AccessClass::Fetch
+                        && self.config.speculative_prefetch
+                        && prefetch_p > 0.0
+                        && !self.me().engine.speculation_disabled()
+                        && self.nodes[self.cpu].rng.gen_bool(prefetch_p)
+                    {
+                        self.speculative_prefetch(line);
+                        self.nodes[self.cpu].last_data = None;
+                    }
+                }
+                return Ok(self.config.latency.l1_hit);
+            }
         }
         if self.pages.access(addr).is_err() {
             return Err(AccessResult::Fault(ProgramException::PageFault {
@@ -956,7 +1070,6 @@ impl View<'_> {
                     ProgramException::ConstraintViolation,
                 ));
         }
-        let line = addr.line();
         let (hit, out) = self.me().cache.access_local(line, class, excl, tx);
         let cycles = match hit {
             LocalHit::L1 => {
@@ -987,20 +1100,28 @@ impl View<'_> {
         {
             self.speculative_prefetch(line);
         }
-        // Arm the repeat-access fast path (see the top of this function).
-        // Transactional accesses never arm it (marking and footprint noting
-        // must run on every repeat) and need not disarm it either: entering
-        // the transaction bumped the cache generation, which already
-        // invalidates any key armed before TBEGIN.
-        if !tx {
-            self.nodes[self.cpu].last_data = Some(RepeatAccess {
-                addr,
-                len,
-                excl,
-                gen: self.nodes[self.cpu].cache.generation(),
-                page_epoch: self.pages.epoch(),
-            });
-        }
+        // Arm the line window (see the fast path above), but only when
+        // coalescing is enabled (the escape hatch must step the exact
+        // pre-window path) and the line verifiably ended this walk as the
+        // hot slot of both directories. Two walks end otherwise: an ownership upgrade that
+        // found the line already L1-resident (the install early-returns
+        // without re-stamping the L1), and a speculative prefetch that left
+        // the *next* line hot — arming either would let a repeat elide
+        // stamps the full walk applies. Transactional boundaries need no
+        // disarm of their own: TBEGIN/TEND bump the cache generation, which
+        // already invalidates any window armed across them.
+        self.nodes[self.cpu].last_data =
+            if self.coalesce && self.nodes[self.cpu].cache.line_is_hot(line) {
+                Some(LineWindow {
+                    line,
+                    excl,
+                    gen: self.nodes[self.cpu].cache.generation(),
+                    page_epoch: self.pages.epoch(),
+                    slot: None,
+                })
+            } else {
+                None
+            };
         Ok(cycles)
     }
 
@@ -1009,6 +1130,14 @@ impl View<'_> {
         // (spinners and read-mostly code never populate the store cache).
         // One fixed-size memory read, no forwarding scan, no byte loop.
         if len == 8 && self.nodes[self.cpu].cache.store_cache().is_empty() {
+            // The window (or its arming walk) already resolved the line's
+            // committed-arena slot; slots never move, so the value is one
+            // array read away — no memory index probe.
+            if let Some(slot) = self.hit_slot {
+                return self
+                    .mem
+                    .load_u64_at_slot(slot, addr.offset_in_line() as usize);
+            }
             return self.mem.load_u64(addr);
         }
         let mut buf = [0u8; 8];

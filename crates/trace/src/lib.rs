@@ -251,8 +251,28 @@ impl Event {
     /// `key=value` pairs. Feeds the trace digest and the `args.enc` field of
     /// the Chrome export, from which [`decode`](Event::decode) round-trips.
     pub fn encode(&self) -> String {
-        fn b(v: bool) -> u8 {
-            v as u8
+        let mut s = String::new();
+        self.encode_into(&mut s)
+            .expect("writing to a String cannot fail");
+        s
+    }
+
+    /// Streams the [`encode`](Event::encode) bytes into any [`fmt::Write`]
+    /// without materializing a `String`. The digest path folds through this
+    /// (see [`fold_digest`]), so digest bytes and `encode()` output are
+    /// identical by construction.
+    ///
+    /// Every value in the encoding is an unsigned decimal integer, so the
+    /// fields are written with [`write_dec`] rather than through
+    /// `fmt::Arguments` — the `write!` interpreter cost per field was the
+    /// dominant term of the digest fold on the hot path.
+    pub fn encode_into<W: fmt::Write>(&self, out: &mut W) -> fmt::Result {
+        fn b(v: bool) -> &'static str {
+            if v {
+                "1"
+            } else {
+                "0"
+            }
         }
         match *self {
             Event::Access {
@@ -261,58 +281,150 @@ impl Event {
                 hit,
                 tx,
             } => {
-                format!("AC l={line} s={} h={hit} t={}", b(store), b(tx))
+                out.write_str("AC l=")?;
+                write_dec(out, line)?;
+                out.write_str(" s=")?;
+                out.write_str(b(store))?;
+                out.write_str(" h=")?;
+                write_dec(out, hit as u64)?;
+                out.write_str(" t=")?;
+                out.write_str(b(tx))
             }
             Event::Install { line, excl, tx } => {
-                format!("IN l={line} e={} t={}", b(excl), b(tx))
+                out.write_str("IN l=")?;
+                write_dec(out, line)?;
+                out.write_str(" e=")?;
+                out.write_str(b(excl))?;
+                out.write_str(" t=")?;
+                out.write_str(b(tx))
             }
             Event::Evict {
                 line,
                 level,
                 tx_read,
                 tx_dirty,
-            } => format!("EV l={line} v={level} r={} d={}", b(tx_read), b(tx_dirty)),
-            Event::XiIssue { to, line, kind } => format!("XI t={to} l={line} k={kind}"),
+            } => {
+                out.write_str("EV l=")?;
+                write_dec(out, line)?;
+                out.write_str(" v=")?;
+                write_dec(out, level as u64)?;
+                out.write_str(" r=")?;
+                out.write_str(b(tx_read))?;
+                out.write_str(" d=")?;
+                out.write_str(b(tx_dirty))
+            }
+            Event::XiIssue { to, line, kind } => {
+                out.write_str("XI t=")?;
+                write_dec(out, to as u64)?;
+                out.write_str(" l=")?;
+                write_dec(out, line)?;
+                out.write_str(" k=")?;
+                write_dec(out, kind as u64)
+            }
             Event::XiAccept {
                 line,
                 kind,
                 conflict,
             } => {
-                format!("XA l={line} k={kind} c={}", b(conflict))
+                out.write_str("XA l=")?;
+                write_dec(out, line)?;
+                out.write_str(" k=")?;
+                write_dec(out, kind as u64)?;
+                out.write_str(" c=")?;
+                out.write_str(b(conflict))
             }
-            Event::XiReject { line, kind, count } => format!("XR l={line} k={kind} n={count}"),
-            Event::RejectHang { line } => format!("RH l={line}"),
+            Event::XiReject { line, kind, count } => {
+                out.write_str("XR l=")?;
+                write_dec(out, line)?;
+                out.write_str(" k=")?;
+                write_dec(out, kind as u64)?;
+                out.write_str(" n=")?;
+                write_dec(out, count as u64)
+            }
+            Event::RejectHang { line } => {
+                out.write_str("RH l=")?;
+                write_dec(out, line)
+            }
             Event::StoreGather { line, tx, ntstg } => {
-                format!("SG l={line} t={} n={}", b(tx), b(ntstg))
+                out.write_str("SG l=")?;
+                write_dec(out, line)?;
+                out.write_str(" t=")?;
+                out.write_str(b(tx))?;
+                out.write_str(" n=")?;
+                out.write_str(b(ntstg))
             }
             Event::StoreNewEntry { line, tx, ntstg } => {
-                format!("SN l={line} t={} n={}", b(tx), b(ntstg))
+                out.write_str("SN l=")?;
+                write_dec(out, line)?;
+                out.write_str(" t=")?;
+                out.write_str(b(tx))?;
+                out.write_str(" n=")?;
+                out.write_str(b(ntstg))
             }
-            Event::StoreClose { entries } => format!("SC e={entries}"),
-            Event::StoreDrain { half, bytes } => format!("SD h={half} b={bytes}"),
-            Event::StoreOverflow { line } => format!("SO l={line}"),
-            Event::TxBegin { constrained, depth } => format!("TB c={} d={depth}", b(constrained)),
-            Event::TxCommit => "TC".to_string(),
+            Event::StoreClose { entries } => {
+                out.write_str("SC e=")?;
+                write_dec(out, entries as u64)
+            }
+            Event::StoreDrain { half, bytes } => {
+                out.write_str("SD h=")?;
+                write_dec(out, half)?;
+                out.write_str(" b=")?;
+                write_dec(out, bytes as u64)
+            }
+            Event::StoreOverflow { line } => {
+                out.write_str("SO l=")?;
+                write_dec(out, line)
+            }
+            Event::TxBegin { constrained, depth } => {
+                out.write_str("TB c=")?;
+                out.write_str(b(constrained))?;
+                out.write_str(" d=")?;
+                write_dec(out, depth as u64)
+            }
+            Event::TxCommit => out.write_str("TC"),
             Event::TxAbort {
                 code,
                 cc,
                 constrained,
             } => {
-                format!("TA a={code} c={cc} n={}", b(constrained))
+                out.write_str("TA a=")?;
+                write_dec(out, code as u64)?;
+                out.write_str(" c=")?;
+                write_dec(out, cc as u64)?;
+                out.write_str(" n=")?;
+                out.write_str(b(constrained))
             }
             Event::LadderStage {
                 attempt,
                 delay,
                 disable_spec,
                 broadcast_stop,
-            } => format!(
-                "LS a={attempt} w={delay} s={} b={}",
-                b(disable_spec),
-                b(broadcast_stop)
-            ),
-            Event::FabricOccupy { queued } => format!("FO q={queued}"),
-            Event::IssueGroup { width, size } => format!("IG w={width} s={size}"),
-            Event::IssueStall { reason, waited } => format!("IS r={reason} w={waited}"),
+            } => {
+                out.write_str("LS a=")?;
+                write_dec(out, attempt as u64)?;
+                out.write_str(" w=")?;
+                write_dec(out, delay)?;
+                out.write_str(" s=")?;
+                out.write_str(b(disable_spec))?;
+                out.write_str(" b=")?;
+                out.write_str(b(broadcast_stop))
+            }
+            Event::FabricOccupy { queued } => {
+                out.write_str("FO q=")?;
+                write_dec(out, queued)
+            }
+            Event::IssueGroup { width, size } => {
+                out.write_str("IG w=")?;
+                write_dec(out, width as u64)?;
+                out.write_str(" s=")?;
+                write_dec(out, size as u64)
+            }
+            Event::IssueStall { reason, waited } => {
+                out.write_str("IS r=")?;
+                write_dec(out, reason as u64)?;
+                out.write_str(" w=")?;
+                write_dec(out, waited)
+            }
         }
     }
 
@@ -447,9 +559,65 @@ pub trait TraceSink {
 /// derives a clone whose emissions are attributed to a given CPU.
 #[derive(Clone, Default)]
 pub struct Tracer {
-    sink: Option<Rc<RefCell<dyn TraceSink>>>,
+    sink: Option<Sink>,
     clock: Rc<Cell<u64>>,
     cpu: u16,
+}
+
+/// The attached consumer: either a shared dynamic [`TraceSink`] (recorder,
+/// test sinks) or the allocation-free digest-only fold. Dispatching on the
+/// variant in [`Tracer::emit`] keeps the digest-only path free of the
+/// `RefCell` borrow and virtual call the general sink needs.
+#[derive(Clone)]
+enum Sink {
+    Shared(Rc<RefCell<dyn TraceSink>>),
+    Digest(Rc<DigestSink>),
+}
+
+/// A digest-only sink: folds every stamped event straight into a streaming
+/// FNV-1a state held in `Cell`s — no `RefCell` borrow, no ring buffering, no
+/// event materialization. The digest is bit-identical to what a [`Recorder`]
+/// fed the same stream reports (both fold through the same byte stream);
+/// [`events`](DigestSink::events) counts how many events were digested.
+#[derive(Debug)]
+pub struct DigestSink {
+    state: Cell<u64>,
+    events: Cell<u64>,
+}
+
+impl DigestSink {
+    /// An empty sink (digest of the empty stream).
+    pub fn new() -> DigestSink {
+        DigestSink {
+            state: Cell::new(FNV_OFFSET),
+            events: Cell::new(0),
+        }
+    }
+
+    /// Folds one stamped event. Shared-reference so it is callable through
+    /// the `Rc` the [`Tracer`] clones hold.
+    #[inline]
+    pub fn fold(&self, clock: u64, cpu: u16, event: &Event) {
+        self.state
+            .set(fold_digest(self.state.get(), clock, cpu, event));
+        self.events.set(self.events.get() + 1);
+    }
+
+    /// The running digest over everything folded so far.
+    pub fn digest(&self) -> u64 {
+        self.state.get()
+    }
+
+    /// How many events have been folded.
+    pub fn events(&self) -> u64 {
+        self.events.get()
+    }
+}
+
+impl Default for DigestSink {
+    fn default() -> Self {
+        DigestSink::new()
+    }
 }
 
 impl fmt::Debug for Tracer {
@@ -473,7 +641,7 @@ impl Tracer {
         let sink: Rc<RefCell<dyn TraceSink>> = recorder.clone();
         (
             Tracer {
-                sink: Some(sink),
+                sink: Some(Sink::Shared(sink)),
                 clock: Rc::new(Cell::new(0)),
                 cpu: 0,
             },
@@ -484,10 +652,26 @@ impl Tracer {
     /// A tracer over an arbitrary sink.
     pub fn with_sink(sink: Rc<RefCell<dyn TraceSink>>) -> Tracer {
         Tracer {
-            sink: Some(sink),
+            sink: Some(Sink::Shared(sink)),
             clock: Rc::new(Cell::new(0)),
             cpu: 0,
         }
+    }
+
+    /// A tracer that keeps only the running digest and an event count — the
+    /// cheapest enabled sink, for callers (CI determinism checks, bench
+    /// sweeps, differential tests) that never read events back. The digest
+    /// is bit-identical to a [`Recorder`]'s for the same stream.
+    pub fn digest_only() -> (Tracer, Rc<DigestSink>) {
+        let sink = Rc::new(DigestSink::new());
+        (
+            Tracer {
+                sink: Some(Sink::Digest(sink.clone())),
+                clock: Rc::new(Cell::new(0)),
+                cpu: 0,
+            },
+            sink,
+        )
     }
 
     /// Whether a sink is attached.
@@ -516,17 +700,23 @@ impl Tracer {
 
     /// Emits an event attributed to this clone's CPU. `f` runs only when a
     /// sink is attached.
+    #[inline]
     pub fn emit(&self, f: impl FnOnce() -> Event) {
-        if let Some(sink) = &self.sink {
-            sink.borrow_mut().record(self.clock.get(), self.cpu, f());
+        match &self.sink {
+            None => {}
+            Some(Sink::Shared(sink)) => sink.borrow_mut().record(self.clock.get(), self.cpu, f()),
+            Some(Sink::Digest(sink)) => sink.fold(self.clock.get(), self.cpu, &f()),
         }
     }
 
     /// Emits an event attributed to an explicit CPU (used by the shared
     /// fabric, which acts on behalf of a requester).
+    #[inline]
     pub fn emit_at(&self, cpu: u16, f: impl FnOnce() -> Event) {
-        if let Some(sink) = &self.sink {
-            sink.borrow_mut().record(self.clock.get(), cpu, f());
+        match &self.sink {
+            None => {}
+            Some(Sink::Shared(sink)) => sink.borrow_mut().record(self.clock.get(), cpu, f()),
+            Some(Sink::Digest(sink)) => sink.fold(self.clock.get(), cpu, &f()),
         }
     }
 }
@@ -534,6 +724,7 @@ impl Tracer {
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
 
+#[inline]
 fn fnv1a(mut state: u64, bytes: &[u8]) -> u64 {
     for &b in bytes {
         state ^= b as u64;
@@ -542,12 +733,52 @@ fn fnv1a(mut state: u64, bytes: &[u8]) -> u64 {
     state
 }
 
+/// Incremental FNV-1a over `fmt` output: every chunk the formatting
+/// machinery produces folds straight into the digest state, so no per-event
+/// line buffer is ever materialized.
+struct FnvWrite(u64);
+
+impl fmt::Write for FnvWrite {
+    fn write_str(&mut self, s: &str) -> fmt::Result {
+        self.0 = fnv1a(self.0, s.as_bytes());
+        Ok(())
+    }
+}
+
+/// Writes `v` in decimal — the same bytes `Display` would produce — without
+/// the `fmt::Arguments` interpreter. Every value in the event encoding is an
+/// unsigned integer, so this one helper covers the whole digest byte stream.
+#[inline]
+fn write_dec<W: fmt::Write>(out: &mut W, v: u64) -> fmt::Result {
+    let mut buf = [0u8; 20];
+    let mut i = buf.len();
+    let mut v = v;
+    loop {
+        i -= 1;
+        buf[i] = b'0' + (v % 10) as u8;
+        v /= 10;
+        if v == 0 {
+            break;
+        }
+    }
+    out.write_str(std::str::from_utf8(&buf[i..]).expect("decimal digits are ASCII"))
+}
+
 /// Folds one stamped event into a digest state. Order- and
 /// content-sensitive; independent of recorder capacity because it is applied
-/// at record time, before any ring wraparound.
+/// at record time, before any ring wraparound. The folded bytes are exactly
+/// `"{clock}|{cpu}|{encode()}\n"`, streamed through [`FnvWrite`] without
+/// allocating.
 fn fold_digest(state: u64, clock: u64, cpu: u16, event: &Event) -> u64 {
-    let line = format!("{clock}|{cpu}|{}\n", event.encode());
-    fnv1a(state, line.as_bytes())
+    use fmt::Write as _;
+    let mut w = FnvWrite(state);
+    let _ = write_dec(&mut w, clock);
+    let _ = w.write_str("|");
+    let _ = write_dec(&mut w, cpu as u64);
+    let _ = w.write_str("|");
+    let _ = event.encode_into(&mut w);
+    let _ = w.write_str("\n");
+    w.0
 }
 
 /// Digest of a complete event slice, matching what a [`Recorder`] fed the
@@ -1344,6 +1575,40 @@ mod tests {
             large_t.emit(|| Event::FabricOccupy { queued: i });
         }
         assert_eq!(small.borrow().digest(), large.borrow().digest());
+    }
+
+    #[test]
+    fn digest_only_sink_matches_recorder_bit_for_bit() {
+        // Feed the identical stamped stream (every variant, varied clocks
+        // and CPUs) into a full recorder and the digest-only sink: the
+        // digests must agree exactly, and the event counts too.
+        let (rec_t, rec) = Tracer::recording(8); // tiny ring: digest ignores wraparound
+        let (dig_t, dig) = Tracer::digest_only();
+        assert!(dig_t.is_enabled());
+        for (i, ev) in sample_events().into_iter().enumerate() {
+            let clock = 10 * i as u64 + 3;
+            let cpu = (i % 5) as u16;
+            rec_t.set_clock(clock);
+            dig_t.set_clock(clock);
+            rec_t.for_cpu(cpu).emit(|| ev);
+            dig_t.for_cpu(cpu).emit(|| ev);
+        }
+        // Also exercise the explicit-CPU emission path on both sinks.
+        rec_t.emit_at(17, || Event::TxCommit);
+        dig_t.emit_at(17, || Event::TxCommit);
+        let r = rec.borrow();
+        assert_eq!(dig.digest(), r.digest());
+        assert_eq!(dig.events(), r.metrics().events);
+        assert_ne!(dig.digest(), FNV_OFFSET, "stream must have been folded");
+    }
+
+    #[test]
+    fn encode_into_streams_the_same_bytes_as_encode() {
+        for ev in sample_events() {
+            let mut streamed = String::new();
+            ev.encode_into(&mut streamed).unwrap();
+            assert_eq!(streamed, ev.encode());
+        }
     }
 
     #[test]

@@ -41,6 +41,32 @@ fn fig5e_trace_digest_matches_the_committed_baseline() {
     assert_eq!(recorder.borrow().digest(), FIG5E_DIGEST);
 }
 
+/// The digest-only sink (no ring, no metrics, no event materialization)
+/// must reproduce both committed digests bit-for-bit: it folds the same
+/// byte stream as the recorder, only cheaper.
+#[test]
+fn e1_digest_matches_through_the_digest_only_sink() {
+    let wl = PoolWorkload::new(PoolLayout::new(1, 1), SyncMethod::Tbegin, 42);
+    let mut sys = System::new(SystemConfig::with_cpus(1).seed(42));
+    let (tracer, sink) = Tracer::digest_only();
+    sys.set_tracer(tracer);
+    wl.run(&mut sys, 400);
+    assert_eq!(sink.digest(), E1_DIGEST);
+    assert!(sink.events() > 0);
+}
+
+#[test]
+fn fig5e_digest_matches_through_the_digest_only_sink() {
+    let t = HashTable::new(512, 2048, 20, TableMethod::Elision);
+    let mut sys = System::new(SystemConfig::with_cpus(6).seed(42));
+    let (tracer, sink) = Tracer::digest_only();
+    sys.set_tracer(tracer);
+    t.populate(&mut sys, &(0..1024).collect::<Vec<_>>());
+    t.run(&mut sys, 150);
+    assert_eq!(sink.digest(), FIG5E_DIGEST);
+    assert!(sink.events() > 0);
+}
+
 /// Broadcast-stop quiesce (§III.E) under the heap scheduler: the quiescing
 /// core is scheduled *outside* the heap while every other core's entry goes
 /// stale, and `release_quiesce` re-enters them with bumped clocks. The
