@@ -13,6 +13,7 @@ use std::time::Instant;
 use ztm_isa::{gr::*, Assembler, MemOperand};
 use ztm_mem::Address;
 use ztm_sim::{System, SystemConfig};
+use ztm_stm::Stm;
 use ztm_trace::{Recorder, Tracer};
 use ztm_workloads::hashtable::{HashTable, TableMethod};
 
@@ -195,6 +196,67 @@ fn main() {
         sys.core_mut(i).set_gr(R7, arena);
     }
     time_steps(&mut sys, n, "fig5e elision 36cpu w3");
+
+    // 5c. STM instrumentation cost. The same two-read/two-write op as a
+    // raw load/store loop and wrapped in a TL2 software transaction
+    // (stripe arithmetic, read-set append + post-validation, write-set
+    // buffering, the commit's acquire/validate/write-back/release). The
+    // ns/step gap is the *host* dispatch cost of the STM's instruction
+    // mix; the instrumentation factor itself is the simulated
+    // instructions-per-op ratio, visible in the two loops' step counts.
+    const STM_A: u64 = 0x10_000;
+    const STM_B: u64 = 0x10_100;
+    let mut a = Assembler::new(0);
+    a.lghi(R6, 1_000_000_000);
+    a.label("loop");
+    for addr in [STM_A, STM_B] {
+        a.lg(R2, MemOperand::absolute(addr));
+        a.aghi(R2, 1);
+        a.stg(R2, MemOperand::absolute(addr));
+    }
+    a.brctg(R6, "loop");
+    a.halt();
+    let raw = a.assemble().unwrap();
+    let mut sys = System::new(SystemConfig::with_cpus(1).seed(42));
+    sys.load_program(0, &raw);
+    time_steps(&mut sys, n, "rmw pair raw 1cpu");
+
+    let stm = Stm::new();
+    let mut a = Assembler::new(0);
+    a.lghi(R6, 1_000_000_000);
+    a.label("loop");
+    a.lghi(R8, STM_A as i64);
+    a.lghi(R9, STM_B as i64);
+    stm.emit_tx(&mut a, "op", &[], |tx| {
+        tx.read(R2, R8);
+        tx.asm().aghi(R2, 1);
+        tx.write(R2, R8);
+        tx.read(R2, R9);
+        tx.asm().aghi(R2, 1);
+        tx.write(R2, R9);
+    });
+    a.brctg(R6, "loop");
+    a.halt();
+    let instrumented = a.assemble().unwrap();
+    let mut sys = System::new(SystemConfig::with_cpus(1).seed(42));
+    sys.load_program(0, &instrumented);
+    stm.layout.install(&mut sys);
+    time_steps(&mut sys, n, "rmw pair stm 1cpu");
+
+    // 5d. The PureStm hashtable shape at 36 CPUs: the software-TM analogue
+    // of the fig5e elision bracket (CSG clock traffic, stripe-lock lines,
+    // real contention).
+    let table = HashTable::new(256, 1024, 20, TableMethod::PureStm);
+    let mut sys = System::new(SystemConfig::with_cpus(36).seed(42));
+    table.populate(&mut sys, &(0..1024).collect::<Vec<_>>());
+    let prog = table.program(1_000_000);
+    sys.load_program_all(&prog);
+    table.stm_layout().install(&mut sys);
+    for i in 0..sys.cpus() {
+        let arena = 0x2000_0000u64 + i as u64 * 0x10_0000;
+        sys.core_mut(i).set_gr(R7, arena);
+    }
+    time_steps(&mut sys, n, "fig5e purestm 36cpu");
 
     // 6. Coalescing × tracing attribution grid. Two memory shapes — the
     // same-line burst (where the line window serves 7 of 8 loads) and

@@ -103,8 +103,12 @@ USAGE:
 OPTIONS:
     --workload <pool|read|hashtable|queue|dlist|bank>   (default pool)
     --method <name>     pool: lock|fine|tbegin|tbeginc|none (default tbegin)
-                        read: rwlock|tbeginc    hashtable: lock|elision
-                        queue/dlist/bank: lock|tbeginc (+ tbegin for bank)
+                        read: rwlock|tbeginc    dlist: lock|tbeginc
+                        hashtable: lock|elision|purestm|hybrid
+                        queue: lock|tbeginc|elision|purestm|hybrid
+                        bank: lock|tbegin|tbeginc|purestm|hybrid
+                        (purestm = TL2 software transactions; hybrid =
+                        TBEGIN fast path with software fallback)
     --cpus <n>          CPUs to simulate (default 4, max 144)
     --ops <n>           operations per CPU (default 200)
     --pool <n>          pool/table size (default 64)
@@ -262,6 +266,8 @@ pub fn execute(o: &Options) -> Result<String, String> {
             let method = match o.method.as_str() {
                 "lock" => TableMethod::GlobalLock,
                 "elision" | "tbegin" => TableMethod::Elision,
+                "purestm" => TableMethod::PureStm,
+                "hybrid" => TableMethod::HtmStmFallback,
                 m => return Err(format!("hashtable does not know method `{m}`")),
             };
             let buckets = o.pool.next_power_of_two().max(16);
@@ -273,6 +279,9 @@ pub fn execute(o: &Options) -> Result<String, String> {
             let method = match o.method.as_str() {
                 "lock" => QueueMethod::Lock,
                 "tbeginc" => QueueMethod::Tbeginc,
+                "elision" | "tbegin" => QueueMethod::Elision,
+                "purestm" => QueueMethod::PureStm,
+                "hybrid" => QueueMethod::HtmStmFallback,
                 m => return Err(format!("queue does not know method `{m}`")),
             };
             let q = ConcurrentQueue::new(method);
@@ -294,6 +303,8 @@ pub fn execute(o: &Options) -> Result<String, String> {
                 "lock" => BankMethod::Lock,
                 "tbegin" => BankMethod::Tbegin,
                 "tbeginc" => BankMethod::Tbeginc,
+                "purestm" => BankMethod::PureStm,
+                "hybrid" => BankMethod::HtmStmFallback,
                 m => return Err(format!("bank does not know method `{m}`")),
             };
             let b = Bank::new(o.pool.max(1), method);
@@ -320,6 +331,20 @@ pub fn execute(o: &Options) -> Result<String, String> {
     );
     if !r.tx.aborts_by_code.is_empty() {
         let _ = writeln!(out, "abort codes       : {:?}", r.tx.aborts_by_code);
+    }
+    if r.stm.begins > 0 {
+        let _ = writeln!(
+            out,
+            "stm commits/aborts: {} / {} ({} validation failures)",
+            r.stm.commits, r.stm.aborts, r.stm.validation_failures
+        );
+    }
+    if r.stm.fallbacks > 0 {
+        let _ = writeln!(
+            out,
+            "stm fallbacks     : {} (by abort code {:?})",
+            r.stm.fallbacks, r.stm.fallback_codes
+        );
     }
     let _ = writeln!(out, "xi [ex,dm,ro,lru] : {:?}", r.xi_counts);
     let _ = writeln!(out, "stall retries     : {}", r.stalls);
@@ -540,9 +565,16 @@ mod tests {
             ("read", "rwlock"),
             ("read", "tbeginc"),
             ("hashtable", "elision"),
+            ("hashtable", "purestm"),
+            ("hashtable", "hybrid"),
             ("queue", "tbeginc"),
+            ("queue", "elision"),
+            ("queue", "purestm"),
+            ("queue", "hybrid"),
             ("dlist", "tbeginc"),
             ("bank", "tbegin"),
+            ("bank", "purestm"),
+            ("bank", "hybrid"),
         ] {
             let o = parse_args(&args(&format!(
                 "--workload {wl} --method {method} --cpus 2 --ops 10 --pool 8"

@@ -133,6 +133,11 @@ pub struct TxEngine {
     /// Consecutive aborts of the current transaction site (reset on commit);
     /// recorded into the TDB as CPU-specific diagnostic information.
     abort_streak: u64,
+    /// Abort code of the most recently processed abort (0 before any).
+    /// The STM fallback path reads this through `Machine::stm_note` to
+    /// attribute fallback engagements to their cause without the emitted
+    /// program having to parse the TDB.
+    last_abort_code: u16,
     tracer: Tracer,
 }
 
@@ -151,6 +156,7 @@ impl TxEngine {
             stats: TxStats::new(),
             speculation_disabled: false,
             abort_streak: 0,
+            last_abort_code: 0,
             tracer: Tracer::disabled(),
         }
     }
@@ -205,6 +211,11 @@ impl TxEngine {
     /// Consecutive aborts of the pending constrained transaction.
     pub fn constrained_abort_count(&self) -> u32 {
         self.retry.abort_count()
+    }
+
+    /// Abort code of the most recently processed abort (0 before any).
+    pub fn last_abort_code(&self) -> u16 {
+        self.last_abort_code
     }
 
     // ------------------------------------------------------------------
@@ -477,6 +488,7 @@ impl TxEngine {
         self.effective = EffectiveControls::from_params(&TbeginParams::new());
 
         self.abort_streak += 1;
+        self.last_abort_code = cause.abort_code() as u16;
         self.stats.record_abort(cause);
         self.tracer.emit(|| Event::TxAbort {
             code: cause.abort_code() as u16,

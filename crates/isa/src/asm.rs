@@ -269,6 +269,11 @@ impl Assembler {
         self.push(Instr::Sllg(r1, r2, amount))
     }
 
+    /// `SRLG r1, r2, amount`.
+    pub fn srlg(&mut self, r1: Reg, r2: Reg, amount: u8) -> &mut Self {
+        self.push(Instr::Srlg(r1, r2, amount))
+    }
+
     /// `NGR r1, r2`.
     pub fn ngr(&mut self, r1: Reg, r2: Reg) -> &mut Self {
         self.push(Instr::Ngr(r1, r2))
@@ -282,6 +287,11 @@ impl Assembler {
     /// `CGR r1, r2` — compare registers.
     pub fn cgr(&mut self, r1: Reg, r2: Reg) -> &mut Self {
         self.push(Instr::Cgr(r1, r2))
+    }
+
+    /// `CG r, mem` — compare register with memory.
+    pub fn cg(&mut self, r: Reg, mem: MemOperand) -> &mut Self {
+        self.push(Instr::Cg(r, mem))
     }
 
     /// `LTGR r1, r2` — load and test register.
@@ -393,6 +403,11 @@ impl Assembler {
     /// `r ← uniform(0..bound)` (simulator helper, zero cost).
     pub fn rand_mod(&mut self, r: Reg, bound: RegOrImm) -> &mut Self {
         self.push(Instr::RandMod(r, bound))
+    }
+
+    /// `STMNOTE kind, r` — software-TM observability marker (zero cost).
+    pub fn stm_note(&mut self, kind: u8, r: Reg) -> &mut Self {
+        self.push(Instr::StmNote(kind, r))
     }
 
     /// `NOP`.

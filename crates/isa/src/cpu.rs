@@ -385,6 +385,11 @@ pub(crate) fn step_inner(core: &mut CpuCore, prog: &Program, m: &mut impl Machin
             core.grs[d.r2 as usize] as i64,
         ),
         Op::Cghi => core.set_cc_cmp(core.grs[d.r1 as usize] as i64, d.imm),
+        Op::Cg => {
+            let ea = effective_address_decoded(core, &d);
+            let v = mem_load!(ea, 8, false);
+            core.set_cc_cmp(core.grs[d.r1 as usize] as i64, v as i64);
+        }
         Op::Brc => {
             if d.aux >> (3 - core.cc) & 1 == 1 {
                 next_pc = d.target as usize;
@@ -481,6 +486,10 @@ pub(crate) fn step_inner(core: &mut CpuCore, prog: &Program, m: &mut impl Machin
             let a = f64::from_bits(core.fprs[d.r1 as usize]);
             let b = f64::from_bits(core.fprs[d.r2 as usize]);
             core.fprs[d.r1 as usize] = (a + b).to_bits();
+        }
+        Op::StmNote => {
+            m.stm_note(d.aux, core.grs[d.r1 as usize]);
+            cycles = 0; // observability only — must not perturb STM timing
         }
         Op::Decimal | Op::Nop => {}
         Op::Delay => cycles += d.imm as u64,
@@ -743,6 +752,11 @@ fn step_inner_legacy(core: &mut CpuCore, prog: &Program, m: &mut impl Machine) -
         }
         Instr::Cgr(r1, r2) => core.set_cc_cmp(core.gr(r1) as i64, core.gr(r2) as i64),
         Instr::Cghi(r, imm) => core.set_cc_cmp(core.gr(r) as i64, imm),
+        Instr::Cg(r, mem) => {
+            let ea = effective_address(core, &mem);
+            let v = mem_load!(ea, 8, false);
+            core.set_cc_cmp(core.gr(r) as i64, v as i64);
+        }
         Instr::Brc(mask, target) => {
             if mask >> (3 - core.cc) & 1 == 1 {
                 next_pc = target;
@@ -835,6 +849,10 @@ fn step_inner_legacy(core: &mut CpuCore, prog: &Program, m: &mut impl Machine) -
             let a = f64::from_bits(core.fprs[f1 as usize]);
             let b = f64::from_bits(core.fprs[f2 as usize]);
             core.fprs[f1 as usize] = (a + b).to_bits();
+        }
+        Instr::StmNote(kind, r) => {
+            m.stm_note(kind, core.gr(r));
+            cycles = 0; // observability only — must not perturb STM timing
         }
         Instr::Decimal | Instr::Nop => {}
         Instr::Delay(n) => cycles += n,

@@ -74,6 +74,8 @@ pub enum Op {
     Cgr,
     /// See [`Instr::Cghi`].
     Cghi,
+    /// See [`Instr::Cg`].
+    Cg,
     /// See [`Instr::Brc`].
     Brc,
     /// See [`Instr::Cgij`].
@@ -110,6 +112,8 @@ pub enum Op {
     Decimal,
     /// See [`Instr::Privileged`].
     Privileged,
+    /// See [`Instr::StmNote`].
+    StmNote,
     /// See [`Instr::Nop`].
     Nop,
     /// See [`Instr::Delay`].
@@ -370,6 +374,11 @@ pub(crate) fn predecode(instrs: &[Instr], addrs: &[u64]) -> (Vec<DecodedInstr>, 
                 d.r1 = r.0;
                 d.imm = *i;
             }
+            Instr::Cg(r, m) => {
+                d.op = Op::Cg;
+                d.r1 = r.0;
+                set_mem(&mut d, m);
+            }
             Instr::Brc(mask, t) => {
                 d.op = Op::Brc;
                 d.aux = *mask;
@@ -457,6 +466,11 @@ pub(crate) fn predecode(instrs: &[Instr], addrs: &[u64]) -> (Vec<DecodedInstr>, 
             }
             Instr::Decimal => d.op = Op::Decimal,
             Instr::Privileged => d.op = Op::Privileged,
+            Instr::StmNote(kind, r) => {
+                d.op = Op::StmNote;
+                d.aux = *kind;
+                d.r1 = r.0;
+            }
             Instr::Nop => d.op = Op::Nop,
             Instr::Delay(n) => {
                 d.op = Op::Delay;
@@ -511,6 +525,7 @@ impl DecodedInstr {
             Op::Ltgr => Instr::Ltgr(Reg(self.r1), Reg(self.r2)),
             Op::Cgr => Instr::Cgr(Reg(self.r1), Reg(self.r2)),
             Op::Cghi => Instr::Cghi(Reg(self.r1), self.imm),
+            Op::Cg => Instr::Cg(Reg(self.r1), self.mem()),
             Op::Brc => Instr::Brc(self.aux, self.target as usize),
             Op::Cgij => Instr::Cgij(
                 Reg(self.r1),
@@ -534,6 +549,7 @@ impl DecodedInstr {
             Op::Adbr => Instr::Adbr(self.r1, self.r2),
             Op::Decimal => Instr::Decimal,
             Op::Privileged => Instr::Privileged,
+            Op::StmNote => Instr::StmNote(self.aux, Reg(self.r1)),
             Op::Nop => Instr::Nop,
             Op::Delay => Instr::Delay(self.imm as u64),
             Op::Halt => Instr::Halt,

@@ -71,6 +71,7 @@ impl fmt::Display for Instr {
             Ltgr(a, b) => write!(f, "LTGR    {a},{b}"),
             Cgr(a, b) => write!(f, "CGR     {a},{b}"),
             Cghi(r, i) => write!(f, "CGHI    {r},{i}"),
+            Cg(r, m) => write!(f, "CG      {r},{m}"),
             Brc(mask, t) => match brc_mnemonic(*mask) {
                 Some(m) => write!(f, "{m:<7} @{t}"),
                 None => write!(f, "BRC     {mask},@{t}"),
@@ -101,6 +102,7 @@ impl fmt::Display for Instr {
             Adbr(a, b) => write!(f, "ADBR    f{a},f{b}"),
             Decimal => write!(f, "AP      (decimal)"),
             Privileged => write!(f, "LPSW    (privileged)"),
+            StmNote(k, r) => write!(f, "STMNOTE {k},{r}"),
             Nop => write!(f, "NOP"),
             Delay(n) => write!(f, "DELAY   {n}"),
             Halt => write!(f, "HALT"),

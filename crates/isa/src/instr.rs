@@ -156,6 +156,9 @@ pub enum Instr {
     Cgr(Reg, Reg),
     /// Compare immediate (signed), sets CC.
     Cghi(Reg, i64),
+    /// Compare register with 8 bytes of memory (signed), sets CC — relieves
+    /// register pressure in the STM read/write-set scans.
+    Cg(Reg, MemOperand),
 
     // ---- branches (relative, assembler-resolved) ----
     /// Branch on condition mask (see [`cc_mask`]); `J` is `Brc(ALWAYS, _)`.
@@ -211,6 +214,11 @@ pub enum Instr {
     Privileged,
 
     // ---- misc ----
+    /// Software-TM observability marker: reports `(kind, value-of-reg)` to
+    /// the machine (`Machine::stm_note`). Zero cycle cost and no
+    /// architectural effect — the STM runtime's timing must not be inflated
+    /// by its own instrumentation (see `ztm_isa::stm_note` for the kinds).
+    StmNote(u8, Reg),
     /// No operation.
     Nop,
     /// Burn the given number of cycles in one instruction (models a pause /
@@ -226,14 +234,15 @@ impl Instr {
     pub fn len(&self) -> u64 {
         use Instr::*;
         match self {
-            Nop | Halt => 2,
+            Nop | Halt | StmNote(..) => 2,
             Delay(..) => 4,
             Lghi(..) | Lgr(..) | Agr(..) | Sgr(..) | Aghi(..) | Ngr(..) | Xgr(..) | Msgr(..)
             | Dsgr(..) | Ltgr(..) | Cgr(..) | Cghi(..) | Etnd(..) | Ppa(..) | Rdclk(..)
             | RandMod(..) | Sar(..) | Ear(..) | Adbr(..) | Br(..) | Tend => 4,
             La(..) | Brc(..) | Brctg(..) => 4,
-            Lg(..) | Stg(..) | Ltg(..) | Csg(..) | Ntstg(..) | Sllg(..) | Srlg(..) | Cgij(..)
-            | Tbegin(..) | Tbeginc(..) | Tabort(..) | Stckf(..) | Decimal | Privileged => 6,
+            Lg(..) | Stg(..) | Ltg(..) | Cg(..) | Csg(..) | Ntstg(..) | Sllg(..) | Srlg(..)
+            | Cgij(..) | Tbegin(..) | Tbeginc(..) | Tabort(..) | Stckf(..) | Decimal
+            | Privileged => 6,
         }
     }
 

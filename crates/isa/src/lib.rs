@@ -59,8 +59,8 @@ pub use cpu::{run_to_halt, step, step_legacy, StepEvent, StepOutcome};
 pub use decoded::{DecodedInstr, Op};
 pub use instr::{cc_mask, CmpCond, Instr, MemOperand, RegOrImm};
 pub use machine::{
-    finish_abort, AbortApply, AccessResult, CasResult, EndResult, ExceptionDisposition, Machine,
-    OsDisposition, OsModel, SimpleMachine,
+    finish_abort, stm_note, AbortApply, AccessResult, CasResult, EndResult, ExceptionDisposition,
+    Machine, OsDisposition, OsModel, SimpleMachine,
 };
 pub use per::PerControls;
 pub use pipeline::{step_pipelined, IssueReport, IssueWindow, StallReason};

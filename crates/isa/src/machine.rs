@@ -202,6 +202,30 @@ pub fn finish_abort(
     }
 }
 
+/// Kind codes passed by the `STMNOTE` pseudo-instruction
+/// ([`Instr::StmNote`](crate::Instr::StmNote)) to [`Machine::stm_note`] —
+/// the observability points of the software-TM runtime (`ztm-stm`). The
+/// noted register value's meaning depends on the kind.
+pub mod stm_note {
+    /// An STM transaction attempt begins; value = sampled read version.
+    pub const BEGIN: u8 = 0;
+    /// STM commit completed; value = write-set size.
+    pub const COMMIT: u8 = 1;
+    /// STM-level abort, about to retry; value = attempt count.
+    pub const ABORT: u8 = 2;
+    /// Stripe write-lock acquired; value = lockword address.
+    pub const LOCK_ACQ: u8 = 3;
+    /// Stripe write-lock released; value = lockword address.
+    pub const LOCK_REL: u8 = 4;
+    /// Read-set validation passed; value = read-set size.
+    pub const VAL_PASS: u8 = 5;
+    /// Read-set validation failed; value = offending lockword address.
+    pub const VAL_FAIL: u8 = 6;
+    /// The HTM retry ladder engaged the STM fallback; value = HTM attempt
+    /// count at the transition.
+    pub const FALLBACK: u8 = 7;
+}
+
 /// The port through which the CPU interpreter touches memory and the
 /// Transactional Execution machinery.
 ///
@@ -268,6 +292,11 @@ pub trait Machine {
         pe: ProgramException,
         instruction_fetch: bool,
     ) -> ExceptionDisposition;
+    /// STMNOTE observability hook: `kind` is one of the [`stm_note`] codes,
+    /// `value` the noted register. Costs nothing and has no architectural
+    /// effect; the default ignores it (the full simulator emits typed trace
+    /// events and counts per-CPU STM statistics).
+    fn stm_note(&mut self, _kind: u8, _value: u64) {}
     /// PPA function-code-TX delay for the given abort count (§II.A).
     fn ppa(&mut self, abort_count: u64) -> u64;
     /// Uniform random value in `0..bound` (the RAND pseudo-instruction).

@@ -190,6 +190,11 @@ fn deps(d: &DecodedInstr) -> Deps {
             p.src[0] = d.r1;
             p.sets_cc = true;
         }
+        Op::Cg => {
+            p.kind = MemKind::Load;
+            p.src = [d.r1, d.base, d.index];
+            p.sets_cc = true;
+        }
         // Mask 15 branches unconditionally and mask 0 never branches —
         // neither consults the CC (`d.aux` is the mask).
         Op::Brc => p.reads_cc = d.aux != 15 && d.aux != 0,
@@ -205,6 +210,9 @@ fn deps(d: &DecodedInstr) -> Deps {
             }
             p.dst = d.r1;
         }
+        // STMNOTE only reads its register for the machine hook; it writes
+        // nothing and costs nothing.
+        Op::StmNote => p.src[0] = d.r1,
         Op::Decimal | Op::Nop => {}
         // Serial ops are drained before execution and never scoreboarded.
         _ => debug_assert!(is_serial(d.op), "unclassified op {:?}", d.op),

@@ -23,5 +23,5 @@ mod report;
 mod system;
 
 pub use config::SystemConfig;
-pub use report::SystemReport;
+pub use report::{StmCounts, SystemReport};
 pub use system::{System, TraceRecord};

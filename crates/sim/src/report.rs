@@ -1,6 +1,46 @@
 //! Aggregated system statistics.
 
+use std::collections::BTreeMap;
 use ztm_core::TxStats;
+
+/// Software-TM (TL2) statistics, accumulated from the `STMNOTE` markers the
+/// emitted STM programs execute (see `ztm_stm`). All zero for workloads that
+/// never run the software path.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StmCounts {
+    /// STM transaction attempts begun (including retries).
+    pub begins: u64,
+    /// STM transactions committed.
+    pub commits: u64,
+    /// STM-level aborts: stripe-acquire or read-validation failures that
+    /// rolled back and retried.
+    pub aborts: u64,
+    /// TL2 read-set validations that failed (a subset of `aborts` causes).
+    pub validation_failures: u64,
+    /// Stripe write-locks acquired at commit.
+    pub lock_acquires: u64,
+    /// HTM→STM fallback transitions (hybrid mode only).
+    pub fallbacks: u64,
+    /// Abort code of the final hardware attempt at each fallback
+    /// transition, keyed by the engine's abort code (e.g. 8 = store
+    /// footprint overflow, ≥256 = TABORT).
+    pub fallback_codes: BTreeMap<u16, u64>,
+}
+
+impl StmCounts {
+    /// Accumulates another CPU's counters into this one.
+    pub fn merge(&mut self, other: &StmCounts) {
+        self.begins += other.begins;
+        self.commits += other.commits;
+        self.aborts += other.aborts;
+        self.validation_failures += other.validation_failures;
+        self.lock_acquires += other.lock_acquires;
+        self.fallbacks += other.fallbacks;
+        for (code, n) in &other.fallback_codes {
+            *self.fallback_codes.entry(*code).or_insert(0) += n;
+        }
+    }
+}
 
 /// A snapshot of system-wide counters, produced by
 /// [`crate::System::report`].
@@ -22,6 +62,9 @@ pub struct SystemReport {
     /// a directory walk (zero under `ZTM_NO_COALESCE=1`). A host-speed
     /// statistic: coalescing changes no simulated outcome.
     pub coalesced_accesses: u64,
+    /// Merged software-TM statistics (all zero unless an STM or hybrid
+    /// sync mode ran).
+    pub stm: StmCounts,
 }
 
 impl SystemReport {

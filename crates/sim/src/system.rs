@@ -55,6 +55,8 @@ struct Node {
     last_data: Option<LineWindow>,
     /// Data accesses served by the line window without a directory walk.
     coalesced: u64,
+    /// Software-TM statistics observed via `STMNOTE` markers.
+    stm: crate::report::StmCounts,
 }
 
 /// A per-core *line window*: the data line the previous full directory walk
@@ -229,6 +231,7 @@ impl System {
                 last_ifetch_page_epoch: 0,
                 last_data: None,
                 coalesced: 0,
+                stm: crate::report::StmCounts::default(),
             })
             .collect();
         let fabric = match config.l3_geometry {
@@ -776,8 +779,10 @@ impl System {
     /// Aggregated system report.
     pub fn report(&self) -> SystemReport {
         let mut tx = TxStats::new();
+        let mut stm = crate::report::StmCounts::default();
         for n in &self.nodes {
             tx.merge(n.engine.stats());
+            stm.merge(&n.stm);
         }
         SystemReport {
             elapsed_cycles: self.cores.iter().map(|c| c.clock).max().unwrap_or(0),
@@ -787,6 +792,7 @@ impl System {
             tx,
             xi_counts: self.fabric.xi_counts(),
             coalesced_accesses: self.nodes.iter().map(|n| n.coalesced).sum(),
+            stm,
         }
     }
 }
@@ -1405,6 +1411,70 @@ impl Machine for View<'_> {
         let node = self.me();
         let rng = &mut node.rng;
         node.engine.ppa_tx_assist(abort_count, rng)
+    }
+
+    fn stm_note(&mut self, kind: u8, value: u64) {
+        use ztm_isa::stm_note as k;
+        let cpu = self.cpu as u16;
+        let node = &mut self.nodes[self.cpu];
+        let ev = match kind {
+            k::BEGIN => {
+                node.stm.begins += 1;
+                Event::StmTx {
+                    phase: 0,
+                    info: value,
+                }
+            }
+            k::COMMIT => {
+                node.stm.commits += 1;
+                Event::StmTx {
+                    phase: 1,
+                    info: value,
+                }
+            }
+            k::ABORT => {
+                node.stm.aborts += 1;
+                Event::StmTx {
+                    phase: 2,
+                    info: value,
+                }
+            }
+            k::LOCK_ACQ => {
+                node.stm.lock_acquires += 1;
+                Event::StmLock {
+                    acquired: true,
+                    addr: value,
+                }
+            }
+            k::LOCK_REL => Event::StmLock {
+                acquired: false,
+                addr: value,
+            },
+            k::VAL_PASS => Event::StmValidation {
+                ok: true,
+                info: value,
+            },
+            k::VAL_FAIL => {
+                node.stm.validation_failures += 1;
+                Event::StmValidation {
+                    ok: false,
+                    info: value,
+                }
+            }
+            k::FALLBACK => {
+                // The note marks the HTM→STM transition; the hardware abort
+                // that forced it is the engine's most recent abort.
+                let code = node.engine.last_abort_code();
+                node.stm.fallbacks += 1;
+                *node.stm.fallback_codes.entry(code).or_insert(0) += 1;
+                Event::StmFallback {
+                    attempt: value as u32,
+                    code,
+                }
+            }
+            _ => return,
+        };
+        self.tracer.emit_at(cpu, || ev);
     }
 
     fn rand(&mut self, bound: u64) -> u64 {

@@ -219,6 +219,35 @@ pub enum Event {
         /// Cycles waited beyond the hazard-free issue cycle.
         waited: u64,
     },
+    /// The software-TM runtime acquired or released a stripe write-lock.
+    StmLock {
+        /// Acquired (true) or released (false).
+        acquired: bool,
+        /// Simulated byte address of the stripe lockword.
+        addr: u64,
+    },
+    /// TL2 read-set validation outcome at STM commit.
+    StmValidation {
+        /// Validation passed.
+        ok: bool,
+        /// Read-set size on pass; offending lockword address on failure.
+        info: u64,
+    },
+    /// The HTM retry ladder dropped into the STM fallback path.
+    StmFallback {
+        /// HTM attempt count at the transition.
+        attempt: u32,
+        /// Architected abort code of the final HTM attempt.
+        code: u16,
+    },
+    /// Software-TM transaction phase marker.
+    StmTx {
+        /// 0 = begin, 1 = commit, 2 = abort-retry.
+        phase: u8,
+        /// Sampled read version (begin), write-set size (commit), or
+        /// attempt count (abort-retry).
+        info: u64,
+    },
 }
 
 impl Event {
@@ -244,6 +273,10 @@ impl Event {
             Event::FabricOccupy { .. } => "fabric",
             Event::IssueGroup { .. } => "issue-group",
             Event::IssueStall { .. } => "issue-stall",
+            Event::StmLock { .. } => "stm-lock",
+            Event::StmValidation { .. } => "stm-validate",
+            Event::StmFallback { .. } => "stm-fallback",
+            Event::StmTx { .. } => "stm-tx",
         }
     }
 
@@ -425,6 +458,30 @@ impl Event {
                 out.write_str(" w=")?;
                 write_dec(out, waited)
             }
+            Event::StmLock { acquired, addr } => {
+                out.write_str("SL a=")?;
+                out.write_str(b(acquired))?;
+                out.write_str(" d=")?;
+                write_dec(out, addr)
+            }
+            Event::StmValidation { ok, info } => {
+                out.write_str("SV o=")?;
+                out.write_str(b(ok))?;
+                out.write_str(" i=")?;
+                write_dec(out, info)
+            }
+            Event::StmFallback { attempt, code } => {
+                out.write_str("SF a=")?;
+                write_dec(out, attempt as u64)?;
+                out.write_str(" c=")?;
+                write_dec(out, code as u64)
+            }
+            Event::StmTx { phase, info } => {
+                out.write_str("SP p=")?;
+                write_dec(out, phase as u64)?;
+                out.write_str(" i=")?;
+                write_dec(out, info)
+            }
         }
     }
 
@@ -524,6 +581,22 @@ impl Event {
             "IS" => Event::IssueStall {
                 reason: get("r")? as u8,
                 waited: get("w")?,
+            },
+            "SL" => Event::StmLock {
+                acquired: get("a")? != 0,
+                addr: get("d")?,
+            },
+            "SV" => Event::StmValidation {
+                ok: get("o")? != 0,
+                info: get("i")?,
+            },
+            "SF" => Event::StmFallback {
+                attempt: get("a")? as u32,
+                code: get("c")? as u16,
+            },
+            "SP" => Event::StmTx {
+                phase: get("p")? as u8,
+                info: get("i")?,
             },
             other => return Err(format!("unknown event tag {other:?}")),
         };
@@ -859,6 +932,24 @@ pub struct Metrics {
     pub issue_stalls: u64,
     /// Total cycles spent waiting on issue hazards.
     pub issue_stall_cycles: u64,
+    /// Software-TM transaction attempts begun.
+    pub stm_begins: u64,
+    /// Software-TM commits.
+    pub stm_commits: u64,
+    /// Software-TM aborts (acquire/validation failures that retried).
+    pub stm_aborts: u64,
+    /// Stripe write-locks acquired.
+    pub stm_lock_acquires: u64,
+    /// Stripe write-locks released.
+    pub stm_lock_releases: u64,
+    /// TL2 read-set validations that passed.
+    pub stm_validation_passes: u64,
+    /// TL2 read-set validations that failed.
+    pub stm_validation_failures: u64,
+    /// HTM→STM fallback transitions.
+    pub stm_fallbacks: u64,
+    /// Abort code of the final HTM attempt at each fallback transition.
+    pub stm_fallback_codes: BTreeMap<u16, u64>,
     /// Open outermost-begin clock per CPU (internal latency bookkeeping).
     open_begin: BTreeMap<u16, u64>,
 }
@@ -954,6 +1045,29 @@ impl Metrics {
                 self.issue_stalls += 1;
                 self.issue_stall_cycles += waited;
             }
+            Event::StmLock { acquired, .. } => {
+                if acquired {
+                    self.stm_lock_acquires += 1;
+                } else {
+                    self.stm_lock_releases += 1;
+                }
+            }
+            Event::StmValidation { ok, .. } => {
+                if ok {
+                    self.stm_validation_passes += 1;
+                } else {
+                    self.stm_validation_failures += 1;
+                }
+            }
+            Event::StmFallback { code, .. } => {
+                self.stm_fallbacks += 1;
+                *self.stm_fallback_codes.entry(code).or_insert(0) += 1;
+            }
+            Event::StmTx { phase, .. } => match phase {
+                0 => self.stm_begins += 1,
+                1 => self.stm_commits += 1,
+                _ => self.stm_aborts += 1,
+            },
         }
     }
 
@@ -1040,14 +1154,40 @@ impl Metrics {
             "  \"fabric\": {{\"queued_transfers\": {}, \"queued_cycles\": {}}},\n",
             self.fabric_queued, self.fabric_queued_cycles
         ));
+        // The "stm" object appears only when STM events were observed, so
+        // pre-existing (HTM-only) metrics documents stay byte-identical.
+        let stm_active = self.stm_begins
+            + self.stm_commits
+            + self.stm_aborts
+            + self.stm_lock_acquires
+            + self.stm_lock_releases
+            + self.stm_validation_passes
+            + self.stm_validation_failures
+            + self.stm_fallbacks
+            > 0;
         s.push_str(&format!(
-            "  \"pipeline\": {{\"issue_groups\": {}, \"issue_group_instrs\": {}, \"group_sizes\": {}, \"stalls\": {}, \"stall_cycles\": {}}}\n",
+            "  \"pipeline\": {{\"issue_groups\": {}, \"issue_group_instrs\": {}, \"group_sizes\": {}, \"stalls\": {}, \"stall_cycles\": {}}}{}\n",
             self.issue_groups,
             self.issue_group_instrs,
             hist(&self.issue_group_sizes),
             self.issue_stalls,
-            self.issue_stall_cycles
+            self.issue_stall_cycles,
+            if stm_active { "," } else { "" }
         ));
+        if stm_active {
+            s.push_str(&format!(
+                "  \"stm\": {{\"begins\": {}, \"commits\": {}, \"aborts\": {}, \"lock_acquires\": {}, \"lock_releases\": {}, \"validation_passes\": {}, \"validation_failures\": {}, \"fallbacks\": {}, \"fallback_codes\": {}}}\n",
+                self.stm_begins,
+                self.stm_commits,
+                self.stm_aborts,
+                self.stm_lock_acquires,
+                self.stm_lock_releases,
+                self.stm_validation_passes,
+                self.stm_validation_failures,
+                self.stm_fallbacks,
+                hist(&self.stm_fallback_codes)
+            ));
+        }
         s.push_str("}\n");
         s
     }
@@ -1509,6 +1649,19 @@ mod tests {
                 reason: 1,
                 waited: 44,
             },
+            Event::StmLock {
+                acquired: true,
+                addr: 0x6000_0040,
+            },
+            Event::StmValidation {
+                ok: false,
+                info: 0x6000_0048,
+            },
+            Event::StmFallback {
+                attempt: 6,
+                code: 8,
+            },
+            Event::StmTx { phase: 1, info: 12 },
         ]
     }
 

@@ -6,11 +6,12 @@
 //! global invariant — the sum of all balances never changes — holds only if
 //! every debit+credit pair is atomic and isolated.
 
-use crate::harness::{convention, WorkloadReport};
-use ztm_core::{GrSaveMask, TbeginParams};
+use crate::harness::{convention, emit_tx_with_fallback, WorkloadReport};
+use ztm_core::GrSaveMask;
 use ztm_isa::{gr::*, Assembler, MemOperand, Program, RegOrImm};
 use ztm_mem::Address;
 use ztm_sim::System;
+use ztm_stm::{HtmBody, Stm, TxBody};
 
 /// Synchronization of the transfers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -23,6 +24,11 @@ pub enum BankMethod {
     /// Figure 1 TBEGIN with retry threshold and the global lock as
     /// fallback.
     Tbegin,
+    /// Every transfer is a TL2 software transaction ([`ztm_stm`]).
+    PureStm,
+    /// TBEGIN fast path subscribing to the TL2 stripe locks, falling back
+    /// to the software path after the retry budget.
+    HtmStmFallback,
 }
 
 /// The bank: `accounts` balances, each on its own cache line.
@@ -33,6 +39,7 @@ pub struct Bank {
     method: BankMethod,
     base: u64,
     lock: u64,
+    stm: Stm,
 }
 
 impl Bank {
@@ -48,6 +55,7 @@ impl Bank {
             method,
             base: 0x5000_0000,
             lock: 0x5000_0000 - 256,
+            stm: Stm::new(),
         }
     }
 
@@ -75,6 +83,26 @@ impl Bank {
         a.lg(R2, MemOperand::based(R9, 0));
         a.agr(R2, R10);
         a.stg(R2, MemOperand::based(R9, 0));
+    }
+
+    /// The transfer as a TL2 software-transaction body.
+    fn emit_transfer_stm(&self, tx: &mut TxBody) {
+        tx.read(R2, R8);
+        tx.asm().sgr(R2, R10);
+        tx.write(R2, R8);
+        tx.read(R2, R9);
+        tx.asm().agr(R2, R10);
+        tx.write(R2, R9);
+    }
+
+    /// The transfer on the hybrid hardware fast path.
+    fn emit_transfer_htm(&self, h: &mut HtmBody) {
+        h.read(R2, R8);
+        h.asm().sgr(R2, R10);
+        h.write(R2, R8);
+        h.read(R2, R9);
+        h.asm().agr(R2, R10);
+        h.write(R2, R9);
     }
 
     fn emit_locked(&self, a: &mut Assembler, p: &str) {
@@ -115,31 +143,28 @@ impl Bank {
                 self.emit_transfer(&mut a);
                 a.tend();
             }
-            BankMethod::Tbegin => {
-                a.lghi(R0, 0);
-                a.label("tx_retry");
-                a.tbegin(TbeginParams::new());
-                a.jnz("tx_abort");
-                a.ltg(R1, MemOperand::absolute(self.lock));
-                a.jnz("tx_busy");
-                self.emit_transfer(&mut a);
-                a.tend();
-                a.j("section_done");
-                a.label("tx_busy");
-                a.tabort(256);
-                a.label("tx_abort");
-                a.jo("fallback");
-                a.aghi(R0, 1);
-                a.cgij_ge(R0, 6, "fallback");
-                a.ppa(R0);
-                a.label("tx_wait");
-                a.ltg(R1, MemOperand::absolute(self.lock));
-                a.jz("tx_retry");
-                a.delay(24);
-                a.j("tx_wait");
-                a.label("fallback");
-                self.emit_locked(&mut a, "fb");
-                a.label("section_done");
+            BankMethod::Tbegin => emit_tx_with_fallback(
+                &mut a,
+                "tx",
+                self.lock,
+                6,
+                |a| self.emit_transfer(a),
+                |a| self.emit_locked(a, "fb"),
+            ),
+            BankMethod::PureStm => {
+                self.stm
+                    .emit_tx(&mut a, "st", &[], |tx| self.emit_transfer_stm(tx));
+            }
+            BankMethod::HtmStmFallback => {
+                self.stm.emit_hybrid_tx(
+                    &mut a,
+                    "hy",
+                    R5,
+                    6,
+                    &[],
+                    |h| self.emit_transfer_htm(h),
+                    |tx| self.emit_transfer_stm(tx),
+                );
             }
         }
         a.rdclk(convention::T_END);
@@ -155,6 +180,12 @@ impl Bank {
     pub fn run(&self, sys: &mut System, ops_per_cpu: u64) -> WorkloadReport {
         let prog = self.program(ops_per_cpu);
         sys.load_program_all(&prog);
+        if matches!(
+            self.method,
+            BankMethod::PureStm | BankMethod::HtmStmFallback
+        ) {
+            self.stm.layout.install(sys);
+        }
         sys.run_until_halt(2_000_000_000);
         WorkloadReport::collect(sys)
     }
@@ -192,6 +223,16 @@ mod tests {
     #[test]
     fn money_is_conserved_under_tbegin_with_fallback() {
         conserved(BankMethod::Tbegin, 6, 4);
+    }
+
+    #[test]
+    fn money_is_conserved_under_pure_stm() {
+        conserved(BankMethod::PureStm, 6, 7);
+    }
+
+    #[test]
+    fn money_is_conserved_under_hybrid_fallback() {
+        conserved(BankMethod::HtmStmFallback, 6, 8);
     }
 
     #[test]

@@ -12,6 +12,9 @@
 //! * throughput is `CPUs / average-time-per-update`, normalized to 100 for
 //!   a reference run (2 CPUs updating a single variable from a pool of 1).
 
+use ztm_core::TbeginParams;
+use ztm_isa::gr::{R0, R1};
+use ztm_isa::{Assembler, MemOperand};
 use ztm_sim::{System, SystemReport};
 
 /// Register conventions of the workload programs.
@@ -29,6 +32,55 @@ pub mod convention {
     pub const T_START: Reg = R12;
     /// Timestamp scratch (end).
     pub const T_END: Reg = R13;
+}
+
+/// Emits the Figure 1 lock-elision ladder shared by every TBEGIN workload:
+/// a transaction that tests the elided `lock` (aborting with code 256 while
+/// it is held), a retry loop with `PPA` backoff that gives up after
+/// `retry_limit` transient aborts (immediately on a persistent CC3 abort),
+/// a wait-for-lock-free loop before each retry, and the `fallback` path.
+///
+/// `body` emits the critical section (runs inside the transaction, after
+/// the lock test); `fallback` emits the lock-based path. Labels are
+/// prefixed with `p`. R0 (retry count) and R1 (lock probe) are clobbered.
+pub fn emit_tx_with_fallback<B, F>(
+    a: &mut Assembler,
+    p: &str,
+    lock: u64,
+    retry_limit: i64,
+    body: B,
+    fallback: F,
+) where
+    B: FnOnce(&mut Assembler),
+    F: FnOnce(&mut Assembler),
+{
+    a.lghi(R0, 0);
+    a.label(&format!("{p}_retry"));
+    a.tbegin(TbeginParams::new());
+    a.jnz(&format!("{p}_abort"));
+    a.ltg(R1, MemOperand::absolute(lock));
+    a.jnz(&format!("{p}_busy"));
+    body(a);
+    a.tend();
+    a.j(&format!("{p}_done"));
+    a.label(&format!("{p}_busy"));
+    a.tabort(256); // transient: retry once the lock is free
+    a.label(&format!("{p}_abort"));
+    a.jo(&format!("{p}_fallback")); // CC3: no retry
+    a.aghi(R0, 1);
+    a.cgij_ge(R0, retry_limit, &format!("{p}_fallback"));
+    a.ppa(R0); // machine-tuned random delay
+               // Figure 1: "potentially wait for lock to become free" before
+               // jumping back, so retries don't burn attempts while a
+               // fallback holder is in its critical section.
+    a.label(&format!("{p}_wait"));
+    a.ltg(R1, MemOperand::absolute(lock));
+    a.jz(&format!("{p}_retry"));
+    a.delay(24);
+    a.j(&format!("{p}_wait"));
+    a.label(&format!("{p}_fallback"));
+    fallback(a);
+    a.label(&format!("{p}_done"));
 }
 
 /// Per-CPU measurement extracted after a run.

@@ -5,11 +5,11 @@
 //! with transactions. Under the global lock, throughput is flat no matter
 //! how many threads run; with elision it scales almost linearly (§IV).
 
-use crate::harness::{convention, WorkloadReport};
-use ztm_core::TbeginParams;
+use crate::harness::{convention, emit_tx_with_fallback, WorkloadReport};
 use ztm_isa::{gr::*, Assembler, MemOperand, Program, RegOrImm};
 use ztm_mem::Address;
 use ztm_sim::System;
+use ztm_stm::{HtmBody, Stm, StmLayout, TxBody};
 
 /// Synchronization of the hashtable.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -19,6 +19,11 @@ pub enum TableMethod {
     /// Figure 1 lock elision: transactions that test the global lock, with
     /// the lock as fallback.
     Elision,
+    /// Every operation is a TL2 software transaction ([`ztm_stm`]).
+    PureStm,
+    /// TBEGIN fast path subscribing to the TL2 stripe locks, falling back
+    /// to the software path (not a global lock) after the retry budget.
+    HtmStmFallback,
     /// No synchronization (upper bound; loses updates under contention).
     /// Also the purest view of raw instruction throughput — the measured-IPC
     /// headline comes from this row.
@@ -46,6 +51,7 @@ pub struct HashTable {
     lock: u64,
     arena_base: u64,
     arena_size: u64,
+    stm: Stm,
 }
 
 impl HashTable {
@@ -65,11 +71,18 @@ impl HashTable {
             lock: 0x0FFF_0000,
             arena_base: 0x2000_0000,
             arena_size: 0x10_0000,
+            stm: Stm::new(),
         }
     }
 
     fn bucket_addr(&self, b: u64) -> u64 {
         self.table_base + b * 8
+    }
+
+    /// The STM layout behind the software-TM modes, for callers that drive
+    /// `program()` manually and must `install` the layout themselves.
+    pub fn stm_layout(&self) -> &StmLayout {
+        &self.stm.layout
     }
 
     /// Pre-populates the table host-side with `keys.len()` entries (key →
@@ -161,6 +174,95 @@ impl HashTable {
         a.label(&format!("{p}_done"));
     }
 
+    /// The hashtable operation as a TL2 software-transaction body: shared
+    /// reads and writes go through the STM's read/write sets; node-field
+    /// initialization in the private arena stays plain (the head link that
+    /// publishes the node is transactional, so un-published fields are
+    /// invisible; R7 is spilled, so an abort un-allocates).
+    fn emit_op_stm(&self, tx: &mut TxBody, p: &str) {
+        {
+            let a = tx.asm();
+            a.lgr(R5, R8); // R5 = &bucket_head
+            a.lghi(R4, (self.buckets - 1) as i64);
+            a.ngr(R5, R4);
+            a.sllg(R5, R5, 3);
+            a.aghi(R5, self.table_base as i64);
+        }
+        tx.read(R3, R5); // head
+        tx.asm().label(&format!("{p}_walk"));
+        tx.asm().cghi(R3, 0);
+        tx.asm().jz(&format!("{p}_miss"));
+        tx.read(R2, R3); // node.key
+        tx.asm().cgr(R2, R8);
+        tx.asm().jz(&format!("{p}_hit"));
+        tx.asm().la(R4, MemOperand::based(R3, 16));
+        tx.read(R3, R4); // next
+        tx.asm().j(&format!("{p}_walk"));
+        tx.asm().label(&format!("{p}_hit"));
+        tx.asm().cghi(R9, 0);
+        tx.asm().jnz(&format!("{p}_hit_put"));
+        tx.asm().la(R4, MemOperand::based(R3, 8));
+        tx.read(R2, R4); // value
+        tx.asm().j(&format!("{p}_done"));
+        tx.asm().label(&format!("{p}_hit_put"));
+        tx.asm().la(R4, MemOperand::based(R3, 8));
+        tx.write(R8, R4); // value := key (arbitrary)
+        tx.asm().j(&format!("{p}_done"));
+        tx.asm().label(&format!("{p}_miss"));
+        tx.asm().cghi(R9, 0);
+        tx.asm().jz(&format!("{p}_done")); // get miss: nothing to do
+        tx.asm().stg(R8, MemOperand::based(R7, 0)); // key (private)
+        tx.asm().stg(R8, MemOperand::based(R7, 8)); // value (private)
+        tx.read(R2, R5); // old head
+        tx.asm().stg(R2, MemOperand::based(R7, 16)); // next (private)
+        tx.write(R7, R5); // head = node
+        tx.asm().aghi(R7, 32);
+        tx.asm().label(&format!("{p}_done"));
+    }
+
+    /// The same operation for the hybrid hardware fast path: every shared
+    /// access subscribes to its stripe, writes publish stripe versions.
+    fn emit_op_htm(&self, h: &mut HtmBody, p: &str) {
+        {
+            let a = h.asm();
+            a.lgr(R5, R8);
+            a.lghi(R4, (self.buckets - 1) as i64);
+            a.ngr(R5, R4);
+            a.sllg(R5, R5, 3);
+            a.aghi(R5, self.table_base as i64);
+        }
+        h.read(R3, R5); // head
+        h.asm().label(&format!("{p}_walk"));
+        h.asm().cghi(R3, 0);
+        h.asm().jz(&format!("{p}_miss"));
+        h.read(R2, R3); // node.key
+        h.asm().cgr(R2, R8);
+        h.asm().jz(&format!("{p}_hit"));
+        h.asm().la(R4, MemOperand::based(R3, 16));
+        h.read(R3, R4); // next
+        h.asm().j(&format!("{p}_walk"));
+        h.asm().label(&format!("{p}_hit"));
+        h.asm().cghi(R9, 0);
+        h.asm().jnz(&format!("{p}_hit_put"));
+        h.asm().la(R4, MemOperand::based(R3, 8));
+        h.read(R2, R4);
+        h.asm().j(&format!("{p}_done"));
+        h.asm().label(&format!("{p}_hit_put"));
+        h.asm().la(R4, MemOperand::based(R3, 8));
+        h.write(R8, R4);
+        h.asm().j(&format!("{p}_done"));
+        h.asm().label(&format!("{p}_miss"));
+        h.asm().cghi(R9, 0);
+        h.asm().jz(&format!("{p}_done"));
+        h.asm().stg(R8, MemOperand::based(R7, 0));
+        h.asm().stg(R8, MemOperand::based(R7, 8));
+        h.read(R2, R5);
+        h.asm().stg(R2, MemOperand::based(R7, 16));
+        h.write(R7, R5);
+        h.asm().aghi(R7, 32);
+        h.asm().label(&format!("{p}_done"));
+    }
+
     fn emit_locked(&self, a: &mut Assembler, p: &str) {
         a.label(&format!("{p}_acq"));
         a.ltg(R1, MemOperand::absolute(self.lock));
@@ -196,32 +298,28 @@ impl HashTable {
         match self.method {
             TableMethod::GlobalLock => self.emit_locked(&mut a, "gl"),
             TableMethod::Unsync => self.emit_op(&mut a, "un"),
-            TableMethod::Elision => {
-                a.lghi(R0, 0);
-                a.label("tx_retry");
-                a.tbegin(TbeginParams::new());
-                a.jnz("tx_abort");
-                a.ltg(R1, MemOperand::absolute(self.lock));
-                a.jnz("tx_busy");
-                self.emit_op(&mut a, "tx_op");
-                a.tend();
-                a.j("section_done");
-                a.label("tx_busy");
-                a.tabort(256);
-                a.label("tx_abort");
-                a.jo("fallback");
-                a.aghi(R0, 1);
-                a.cgij_ge(R0, 6, "fallback");
-                a.ppa(R0);
-                // Wait for the elided lock to clear before retrying (Fig 1).
-                a.label("tx_waitlock");
-                a.ltg(R1, MemOperand::absolute(self.lock));
-                a.jz("tx_retry");
-                a.delay(24);
-                a.j("tx_waitlock");
-                a.label("fallback");
-                self.emit_locked(&mut a, "fb");
-                a.label("section_done");
+            TableMethod::Elision => emit_tx_with_fallback(
+                &mut a,
+                "tx",
+                self.lock,
+                6,
+                |a| self.emit_op(a, "tx_op"),
+                |a| self.emit_locked(a, "fb"),
+            ),
+            TableMethod::PureStm => {
+                self.stm
+                    .emit_tx(&mut a, "st", &[R7], |tx| self.emit_op_stm(tx, "st_op"));
+            }
+            TableMethod::HtmStmFallback => {
+                self.stm.emit_hybrid_tx(
+                    &mut a,
+                    "hy",
+                    R10,
+                    6,
+                    &[R7],
+                    |h| self.emit_op_htm(h, "hy_op"),
+                    |tx| self.emit_op_stm(tx, "hy_sop"),
+                );
             }
         }
         a.rdclk(convention::T_END);
@@ -238,6 +336,12 @@ impl HashTable {
     pub fn run(&self, sys: &mut System, ops_per_cpu: u64) -> WorkloadReport {
         let prog = self.program(ops_per_cpu);
         sys.load_program_all(&prog);
+        if matches!(
+            self.method,
+            TableMethod::PureStm | TableMethod::HtmStmFallback
+        ) {
+            self.stm.layout.install(sys);
+        }
         for i in 0..sys.cpus() {
             let arena = self.arena_base + i as u64 * self.arena_size;
             sys.core_mut(i).set_gr(R7, arena);
@@ -293,18 +397,7 @@ mod tests {
         assert!((128..=128 + 40).contains(&t.len(&sys)));
     }
 
-    #[test]
-    fn elided_table_stays_consistent() {
-        let t = table(TableMethod::Elision);
-        let mut sys = System::new(SystemConfig::with_cpus(4));
-        t.populate(&mut sys, &(0..128).collect::<Vec<_>>());
-        let rep = t.run(&mut sys, 40);
-        assert_eq!(rep.committed_ops(), 160);
-        let len = t.len(&sys);
-        assert!((128..=128 + 160).contains(&len));
-        assert!(rep.system.tx.commits > 0, "most ops elide the lock");
-        // No duplicate keys: a put that saw a concurrent insert must have
-        // been serialized by the transaction.
+    fn assert_no_duplicate_keys(t: &HashTable, sys: &System) {
         for key in 0..64 {
             let b = key & (t.buckets - 1);
             let mut node = sys.mem().load_u64(Address::new(t.bucket_addr(b)));
@@ -317,5 +410,56 @@ mod tests {
             }
             assert!(seen <= 1, "key {key} inserted {seen} times");
         }
+    }
+
+    #[test]
+    fn purestm_table_stays_consistent() {
+        let t = table(TableMethod::PureStm);
+        let mut sys = System::new(SystemConfig::with_cpus(4));
+        t.populate(&mut sys, &(0..128).collect::<Vec<_>>());
+        let rep = t.run(&mut sys, 40);
+        assert_eq!(rep.committed_ops(), 160);
+        assert!((128..=128 + 160).contains(&t.len(&sys)));
+        assert_eq!(rep.system.stm.commits, 160, "every op is a software tx");
+        assert_no_duplicate_keys(&t, &sys);
+        // The stripe table is fully released after the run.
+        for s in 0..t.stm.layout.stripes {
+            let lw = sys
+                .mem()
+                .load_u64(Address::new(t.stm.layout.stripe_lock_addr(s * 8)));
+            assert_eq!(lw >> 63, 0, "stripe {s} left locked");
+        }
+    }
+
+    #[test]
+    fn hybrid_table_stays_consistent() {
+        let t = table(TableMethod::HtmStmFallback);
+        let mut sys = System::new(SystemConfig::with_cpus(4));
+        t.populate(&mut sys, &(0..128).collect::<Vec<_>>());
+        let rep = t.run(&mut sys, 40);
+        assert_eq!(rep.committed_ops(), 160);
+        assert!((128..=128 + 160).contains(&t.len(&sys)));
+        assert!(rep.system.tx.commits > 0, "fast path engages");
+        assert_eq!(
+            rep.system.tx.commits + rep.system.stm.commits,
+            160,
+            "each op commits exactly once, in hardware or software"
+        );
+        assert_no_duplicate_keys(&t, &sys);
+    }
+
+    #[test]
+    fn elided_table_stays_consistent() {
+        let t = table(TableMethod::Elision);
+        let mut sys = System::new(SystemConfig::with_cpus(4));
+        t.populate(&mut sys, &(0..128).collect::<Vec<_>>());
+        let rep = t.run(&mut sys, 40);
+        assert_eq!(rep.committed_ops(), 160);
+        let len = t.len(&sys);
+        assert!((128..=128 + 160).contains(&len));
+        assert!(rep.system.tx.commits > 0, "most ops elide the lock");
+        // No duplicate keys: a put that saw a concurrent insert must have
+        // been serialized by the transaction.
+        assert_no_duplicate_keys(&t, &sys);
     }
 }

@@ -6,8 +6,8 @@
 //! locks, non-constrained transactions with the Figure 1 retry/fallback
 //! structure, constrained transactions (Figure 3), or nothing at all.
 
-use crate::harness::{convention, WorkloadReport};
-use ztm_core::{GrSaveMask, TbeginParams};
+use crate::harness::{convention, emit_tx_with_fallback, WorkloadReport};
+use ztm_core::GrSaveMask;
 use ztm_isa::{gr::*, Assembler, MemOperand, Program, Reg, RegOrImm};
 use ztm_sim::System;
 
@@ -202,34 +202,15 @@ impl PoolWorkload {
                 a.stg(R2, MemOperand::based(R5, 0));
             }
             SyncMethod::Tbegin => {
-                // Figure 1.
-                a.lghi(R0, 0); // retry count
-                a.label("tx_retry");
-                a.tbegin(TbeginParams::new());
-                a.jnz("tx_abort");
-                a.ltg(R1, MemOperand::absolute(l.coarse_lock));
-                a.jnz("tx_lockbusy");
-                self.emit_body(&mut a);
-                a.tend();
-                a.j("section_done");
-                a.label("tx_lockbusy");
-                a.tabort(256); // transient: retry once the lock is free
-                a.label("tx_abort");
-                a.jo("tx_fallback"); // CC3: no retry
-                a.aghi(R0, 1);
-                a.cgij_ge(R0, 6, "tx_fallback"); // give up after 6 attempts
-                a.ppa(R0); // machine-tuned random delay
-                           // Figure 1: "potentially wait for lock to become free"
-                           // before jumping back, so retries don't burn attempts while
-                           // a fallback holder is in its critical section.
-                a.label("tx_waitlock");
-                a.ltg(R1, MemOperand::absolute(l.coarse_lock));
-                a.jz("tx_retry");
-                a.delay(24);
-                a.j("tx_waitlock");
-                a.label("tx_fallback");
-                self.emit_locked_section(&mut a, l.coarse_lock, "fb");
-                a.label("section_done");
+                // Figure 1 (see `emit_tx_with_fallback`).
+                emit_tx_with_fallback(
+                    &mut a,
+                    "tx",
+                    l.coarse_lock,
+                    6,
+                    |a| self.emit_body(a),
+                    |a| self.emit_locked_section(a, l.coarse_lock, "fb"),
+                );
             }
             SyncMethod::Tbeginc => {
                 // Figure 3: no lock test, no fallback path (assuming no

@@ -4,11 +4,12 @@
 //! implemented with constrained transactions, throughput exceeded locks by
 //! a factor of about 2.
 
-use crate::harness::{convention, WorkloadReport};
+use crate::harness::{convention, emit_tx_with_fallback, WorkloadReport};
 use ztm_core::GrSaveMask;
 use ztm_isa::{gr::*, Assembler, MemOperand, Program, RegOrImm};
 use ztm_mem::Address;
 use ztm_sim::System;
+use ztm_stm::{HtmBody, Stm, TxBody};
 
 /// Queue synchronization method.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -18,6 +19,15 @@ pub enum QueueMethod {
     /// Each enqueue/dequeue is one constrained transaction (§II.D: short,
     /// few octowords, straight-line — exactly the intended use).
     Tbeginc,
+    /// Figure 1 lock elision around the enqueue+dequeue pair, with the
+    /// global lock as fallback.
+    Elision,
+    /// Enqueue and dequeue are each a TL2 software transaction
+    /// ([`ztm_stm`]).
+    PureStm,
+    /// TBEGIN fast paths subscribing to the TL2 stripe locks, falling back
+    /// to the software path after the retry budget.
+    HtmStmFallback,
 }
 
 /// A Michael–Scott-style linked queue with a sentinel node, head and tail
@@ -34,6 +44,7 @@ pub struct ConcurrentQueue {
     seed_arena: u64,
     arena_base: u64,
     arena_size: u64,
+    stm: Stm,
 }
 
 impl ConcurrentQueue {
@@ -47,6 +58,7 @@ impl ConcurrentQueue {
             seed_arena: 0x3100_0000,
             arena_base: 0x3200_0000,
             arena_size: 0x10_0000,
+            stm: Stm::new(),
         }
     }
 
@@ -116,6 +128,52 @@ impl ConcurrentQueue {
         }
     }
 
+    /// Enqueue as a TL2 software-transaction body (node pre-initialized at
+    /// R7, which the STM spills so an abort un-allocates nothing — the bump
+    /// happens after commit).
+    fn emit_enqueue_stm(&self, tx: &mut TxBody) {
+        tx.asm().lghi(R2, self.tail_ptr as i64);
+        tx.read(R3, R2); // tail
+        tx.asm().la(R4, MemOperand::based(R3, 8));
+        tx.write(R7, R4); // tail.next = node
+        tx.write(R7, R2); // tail = node
+    }
+
+    /// Dequeue as a TL2 software-transaction body.
+    fn emit_dequeue_stm(&self, tx: &mut TxBody, p: &str) {
+        tx.asm().lghi(R2, self.head_ptr as i64);
+        tx.read(R3, R2); // head
+        tx.asm().la(R4, MemOperand::based(R3, 8));
+        tx.read(R5, R4); // next = head.next
+        tx.asm().cghi(R5, 0);
+        tx.asm().jz(&format!("{p}_empty"));
+        tx.write(R5, R2); // head = next
+        tx.read(R3, R5); // value
+        tx.asm().label(&format!("{p}_empty"));
+    }
+
+    /// Enqueue on the hybrid hardware fast path.
+    fn emit_enqueue_htm(&self, h: &mut HtmBody) {
+        h.asm().lghi(R2, self.tail_ptr as i64);
+        h.read(R3, R2);
+        h.asm().la(R4, MemOperand::based(R3, 8));
+        h.write(R7, R4);
+        h.write(R7, R2);
+    }
+
+    /// Dequeue on the hybrid hardware fast path.
+    fn emit_dequeue_htm(&self, h: &mut HtmBody, p: &str) {
+        h.asm().lghi(R2, self.head_ptr as i64);
+        h.read(R3, R2);
+        h.asm().la(R4, MemOperand::based(R3, 8));
+        h.read(R5, R4);
+        h.asm().cghi(R5, 0);
+        h.asm().jz(&format!("{p}_empty"));
+        h.write(R5, R2);
+        h.read(R3, R5);
+        h.asm().label(&format!("{p}_empty"));
+    }
+
     fn emit_locked(&self, a: &mut Assembler, p: &str) {
         a.label(&format!("{p}_acq"));
         a.ltg(R1, MemOperand::absolute(self.lock));
@@ -149,6 +207,42 @@ impl ConcurrentQueue {
         match self.method {
             QueueMethod::Lock => self.emit_locked(&mut a, "q"),
             QueueMethod::Tbeginc => self.emit_ops(&mut a, "q", true),
+            QueueMethod::Elision => emit_tx_with_fallback(
+                &mut a,
+                "q",
+                self.lock,
+                6,
+                |a| self.emit_ops(a, "q_ops", false),
+                |a| self.emit_locked(a, "qfb"),
+            ),
+            QueueMethod::PureStm => {
+                self.stm
+                    .emit_tx(&mut a, "qe", &[], |tx| self.emit_enqueue_stm(tx));
+                a.aghi(R7, 32); // bump allocator (after commit: it is certain)
+                self.stm
+                    .emit_tx(&mut a, "qd", &[], |tx| self.emit_dequeue_stm(tx, "qd_op"));
+            }
+            QueueMethod::HtmStmFallback => {
+                self.stm.emit_hybrid_tx(
+                    &mut a,
+                    "he",
+                    R9,
+                    6,
+                    &[],
+                    |h| self.emit_enqueue_htm(h),
+                    |tx| self.emit_enqueue_stm(tx),
+                );
+                a.aghi(R7, 32);
+                self.stm.emit_hybrid_tx(
+                    &mut a,
+                    "hd",
+                    R9,
+                    6,
+                    &[],
+                    |h| self.emit_dequeue_htm(h, "hd_op"),
+                    |tx| self.emit_dequeue_stm(tx, "hd_sop"),
+                );
+            }
         }
         a.rdclk(convention::T_END);
         a.sgr(convention::T_END, convention::T_START);
@@ -163,6 +257,12 @@ impl ConcurrentQueue {
     pub fn run(&self, sys: &mut System, ops_per_cpu: u64) -> WorkloadReport {
         let prog = self.program(ops_per_cpu);
         sys.load_program_all(&prog);
+        if matches!(
+            self.method,
+            QueueMethod::PureStm | QueueMethod::HtmStmFallback
+        ) {
+            self.stm.layout.install(sys);
+        }
         for i in 0..sys.cpus() {
             let arena = self.arena_base + i as u64 * self.arena_size;
             sys.core_mut(i).set_gr(R7, arena);
@@ -205,6 +305,47 @@ mod tests {
         assert_eq!(rep.committed_ops(), 120);
         assert_eq!(q.len(&sys), 16);
         assert_eq!(rep.system.tx.commits, 2 * 120, "two transactions per op");
+    }
+
+    #[test]
+    fn elided_queue_preserves_length() {
+        let q = ConcurrentQueue::new(QueueMethod::Elision);
+        let mut sys = System::new(SystemConfig::with_cpus(4));
+        q.seed(&mut sys, 16);
+        let rep = q.run(&mut sys, 30);
+        assert_eq!(rep.committed_ops(), 120);
+        assert_eq!(q.len(&sys), 16);
+        assert!(rep.system.tx.commits > 0, "most ops elide the lock");
+    }
+
+    #[test]
+    fn purestm_queue_preserves_length() {
+        let q = ConcurrentQueue::new(QueueMethod::PureStm);
+        let mut sys = System::new(SystemConfig::with_cpus(4));
+        q.seed(&mut sys, 16);
+        let rep = q.run(&mut sys, 30);
+        assert_eq!(rep.committed_ops(), 120);
+        assert_eq!(q.len(&sys), 16);
+        assert_eq!(
+            rep.system.stm.commits,
+            2 * 120,
+            "two software transactions per op"
+        );
+    }
+
+    #[test]
+    fn hybrid_queue_preserves_length() {
+        let q = ConcurrentQueue::new(QueueMethod::HtmStmFallback);
+        let mut sys = System::new(SystemConfig::with_cpus(4));
+        q.seed(&mut sys, 16);
+        let rep = q.run(&mut sys, 30);
+        assert_eq!(rep.committed_ops(), 120);
+        assert_eq!(q.len(&sys), 16);
+        assert_eq!(
+            rep.system.tx.commits + rep.system.stm.commits,
+            2 * 120,
+            "each enqueue/dequeue commits once, in hardware or software"
+        );
     }
 
     #[test]

@@ -37,5 +37,6 @@ pub use ztm_core as core;
 pub use ztm_isa as isa;
 pub use ztm_mem as mem;
 pub use ztm_sim as sim;
+pub use ztm_stm as stm;
 pub use ztm_trace as trace;
 pub use ztm_workloads as workloads;

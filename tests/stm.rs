@@ -1,0 +1,260 @@
+//! Differential and serializability tests for the TL2 software-TM layer
+//! (`ztm-stm`).
+//!
+//! The STM runs *as emitted programs on the simulated ISA*, so its
+//! correctness claims are checked the same way the hardware TM's are:
+//! against a sequential oracle (every committed history must equal some
+//! serial order), against a snapshot-consistency probe (no transaction may
+//! observe a torn view), and in per-step lockstep between the legacy and
+//! predecoded interpreters with trace-digest equality (determinism).
+
+use proptest::prelude::*;
+use ztm::isa::gr::*;
+use ztm::isa::{Assembler, Program};
+use ztm::mem::Address;
+use ztm::sim::{System, SystemConfig};
+use ztm::stm::{Stm, StmLayout};
+use ztm::trace::{Recorder, Tracer};
+use ztm::workloads::hashtable::{HashTable, TableMethod};
+
+const BANK_BASE: u64 = 0x5000_0000;
+
+/// Lowers a fixed transfer list into a straight-line program where each
+/// transfer is one software transaction (addresses and amounts are
+/// immediates, so the host-side oracle can replay the exact sequence).
+fn transfer_program(stm: &Stm, transfers: &[(u64, u64, u64)]) -> Program {
+    let mut a = Assembler::new(0);
+    for (i, &(from, to, amount)) in transfers.iter().enumerate() {
+        a.lghi(R8, (BANK_BASE + from * 256) as i64);
+        a.lghi(R9, (BANK_BASE + to * 256) as i64);
+        a.lghi(R10, amount as i64);
+        stm.emit_tx(&mut a, &format!("t{i}"), &[], |tx| {
+            tx.read(R2, R8);
+            tx.asm().sgr(R2, R10);
+            tx.write(R2, R8);
+            tx.read(R2, R9);
+            tx.asm().agr(R2, R10);
+            tx.write(R2, R9);
+        });
+    }
+    a.halt();
+    a.assemble().expect("transfer program assembles")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 48,
+        .. ProptestConfig::default()
+    })]
+
+    /// Single-CPU oracle: a random transfer sequence committed through the
+    /// STM (read-set validation, write-set buffering, RAW forwarding on
+    /// self-transfers, commit write-back) must leave memory exactly as the
+    /// host-side sequential replay does — account by account.
+    #[test]
+    fn stm_transfers_match_the_sequential_oracle(
+        transfers in proptest::collection::vec((0u64..8, 0u64..8, 0u64..100), 1..24),
+        stripes in prop::sample::select(vec![2u64, 8, 1024]),
+    ) {
+        let stm = Stm::with_layout(StmLayout::with_stripes(stripes));
+        let mut sys = System::new(SystemConfig::with_cpus(1).seed(9));
+        let mut oracle = [1_000u64; 8];
+        for i in 0..8u64 {
+            sys.mem_mut().store_u64(Address::new(BANK_BASE + i * 256), 1_000);
+        }
+        let prog = transfer_program(&stm, &transfers);
+        sys.load_program_all(&prog);
+        stm.layout.install(&mut sys);
+        sys.run_until_halt(200_000_000);
+        for &(from, to, amount) in &transfers {
+            oracle[from as usize] = oracle[from as usize].wrapping_sub(amount);
+            oracle[to as usize] = oracle[to as usize].wrapping_add(amount);
+        }
+        for (i, &want) in oracle.iter().enumerate() {
+            let got = sys.mem().load_u64(Address::new(BANK_BASE + i as u64 * 256));
+            prop_assert_eq!(got, want, "account {} diverged from the oracle", i);
+        }
+        let r = sys.report();
+        prop_assert_eq!(r.stm.commits, transfers.len() as u64);
+        prop_assert_eq!(r.stm.aborts, 0, "single CPU never conflicts");
+    }
+
+    /// Contended serializability: several CPUs hammer random transfers over
+    /// a deliberately tiny stripe table (false conflicts force the
+    /// validation-failure and retry paths), and the committed history must
+    /// still conserve the total — the transfer workload's one-line
+    /// serializability witness.
+    #[test]
+    fn contended_stm_transfers_conserve_money(
+        cpus in 2usize..5,
+        stripes in prop::sample::select(vec![2u64, 4, 16]),
+        seed in 0u64..64,
+    ) {
+        let accounts = 8u64;
+        let ops = 12u64;
+        let stm = Stm::with_layout(StmLayout::with_stripes(stripes));
+        let mut sys = System::new(SystemConfig::with_cpus(cpus).seed(seed));
+        for i in 0..accounts {
+            sys.mem_mut().store_u64(Address::new(BANK_BASE + i * 256), 1_000);
+        }
+        let mut a = Assembler::new(0);
+        a.lghi(R6, ops as i64);
+        a.label("loop");
+        a.rand_mod(R8, ztm::isa::RegOrImm::Imm(accounts));
+        a.rand_mod(R9, ztm::isa::RegOrImm::Imm(accounts));
+        a.rand_mod(R10, ztm::isa::RegOrImm::Imm(100));
+        a.sllg(R8, R8, 8);
+        a.aghi(R8, BANK_BASE as i64);
+        a.sllg(R9, R9, 8);
+        a.aghi(R9, BANK_BASE as i64);
+        stm.emit_tx(&mut a, "xfer", &[], |tx| {
+            tx.read(R2, R8);
+            tx.asm().sgr(R2, R10);
+            tx.write(R2, R8);
+            tx.read(R2, R9);
+            tx.asm().agr(R2, R10);
+            tx.write(R2, R9);
+        });
+        a.brctg(R6, "loop");
+        a.halt();
+        let prog = a.assemble().unwrap();
+        sys.load_program_all(&prog);
+        stm.layout.install(&mut sys);
+        sys.run_until_halt(2_000_000_000);
+        let total: u64 = (0..accounts)
+            .map(|i| sys.mem().load_u64(Address::new(BANK_BASE + i * 256)))
+            .sum();
+        prop_assert_eq!(total, accounts * 1_000, "serializability violated");
+        let r = sys.report();
+        prop_assert_eq!(r.stm.commits, cpus as u64 * ops);
+        // Every stripe ends unlocked.
+        for s in 0..stm.layout.stripes {
+            let w = sys.mem().load_u64(Address::new(stm.layout.stripe_lock_addr(s * 8)));
+            prop_assert_eq!(w >> 63, 0, "stripe {} left locked", s);
+        }
+    }
+}
+
+/// Snapshot consistency: a writer keeps the pair `(X, Y)` equal inside one
+/// transaction (two different stripes); concurrent read-only transactions
+/// load both and raise a flag on any inequality. TL2's per-read
+/// post-validation must make a torn view impossible.
+#[test]
+fn read_only_transactions_never_see_a_torn_pair() {
+    const X: u64 = 0x8000;
+    const Y: u64 = 0x8008; // adjacent word: a different stripe from X
+    const FLAG: u64 = 0x8200;
+    const ROUNDS: i64 = 60;
+    let stm = Stm::new();
+    assert_ne!(
+        stm.layout.stripe_lock_addr(X),
+        stm.layout.stripe_lock_addr(Y),
+        "the probe needs the pair on two stripes"
+    );
+    let mut sys = System::new(SystemConfig::with_cpus(3).seed(21));
+    let mut a = Assembler::new(0);
+    a.lghi(R6, ROUNDS);
+    a.cghi(R7, 0);
+    a.jnz("reader");
+    // Writer: X and Y move together, atomically.
+    a.label("w_loop");
+    a.lghi(R8, X as i64);
+    a.lghi(R9, Y as i64);
+    stm.emit_tx(&mut a, "w", &[], |tx| {
+        tx.read(R2, R8);
+        tx.asm().aghi(R2, 1);
+        tx.write(R2, R8);
+        tx.write(R2, R9);
+    });
+    a.brctg(R6, "w_loop");
+    a.halt();
+    // Readers: load the pair in one transaction, park the values past the
+    // commit's scratch registers, flag any mismatch.
+    a.label("reader");
+    a.label("r_loop");
+    a.lghi(R8, X as i64);
+    a.lghi(R9, Y as i64);
+    stm.emit_tx(&mut a, "r", &[], |tx| {
+        tx.read(R2, R8);
+        tx.asm().lgr(R12, R2);
+        tx.read(R2, R9);
+        tx.asm().lgr(R13, R2);
+    });
+    a.cgr(R12, R13);
+    a.jz("r_ok");
+    a.lghi(R2, 1);
+    a.stg(R2, ztm::isa::MemOperand::absolute(FLAG));
+    a.label("r_ok");
+    a.brctg(R6, "r_loop");
+    a.halt();
+    let prog = a.assemble().unwrap();
+    sys.load_program_all(&prog);
+    stm.layout.install(&mut sys);
+    sys.core_mut(0).set_gr(R7, 0); // writer
+    sys.core_mut(1).set_gr(R7, 1); // reader
+    sys.core_mut(2).set_gr(R7, 1); // reader
+    sys.run_until_halt(2_000_000_000);
+    assert_eq!(
+        sys.mem().load_u64(Address::new(FLAG)),
+        0,
+        "a read-only transaction observed a torn (X, Y) pair"
+    );
+    assert_eq!(
+        sys.mem().load_u64(Address::new(X)),
+        ROUNDS as u64,
+        "every writer round committed"
+    );
+    assert_eq!(
+        sys.mem().load_u64(Address::new(X)),
+        sys.mem().load_u64(Address::new(Y))
+    );
+}
+
+/// Builds a PureStm hashtable system for the interpreter differential.
+fn stm_table_system(legacy: bool) -> (System, std::rc::Rc<std::cell::RefCell<Recorder>>) {
+    let t = HashTable::new(256, 1024, 30, TableMethod::PureStm);
+    let mut sys = System::new(SystemConfig::with_cpus(4).seed(42));
+    sys.set_legacy_interpreter(legacy);
+    let (tracer, recorder) = Tracer::recording(Recorder::DEFAULT_CAPACITY);
+    sys.set_tracer(tracer);
+    t.populate(&mut sys, &(0..128).collect::<Vec<_>>());
+    t.run(&mut sys, 40);
+    (sys, recorder)
+}
+
+/// The STM's emitted programs (CSG loops, stripe arithmetic, STM_NOTE
+/// markers) must behave identically under the legacy `Instr` walk and the
+/// predecoded dispatch, down to the trace digest.
+#[test]
+fn stm_workload_agrees_across_interpreters() {
+    let (fast, fast_rec) = stm_table_system(false);
+    let (slow, slow_rec) = stm_table_system(true);
+    assert_eq!(fast.report().steps, slow.report().steps);
+    assert_eq!(fast.report().stm, slow.report().stm);
+    assert!(fast.report().stm.commits >= 160);
+    assert_eq!(fast_rec.borrow().digest(), slow_rec.borrow().digest());
+}
+
+/// Identically seeded hybrid runs are bit-identical: same trace digest,
+/// same commit/fallback split. This pins the determinism of the whole
+/// HTM-fast-path + STM-fallback machinery (incl. PPA backoff and the
+/// transactional clock claim).
+#[test]
+fn hybrid_runs_are_deterministic() {
+    let run = || {
+        let t = HashTable::new(256, 1024, 30, TableMethod::HtmStmFallback);
+        let mut sys = System::new(SystemConfig::with_cpus(4).seed(7));
+        let (tracer, recorder) = Tracer::recording(Recorder::DEFAULT_CAPACITY);
+        sys.set_tracer(tracer);
+        t.populate(&mut sys, &(0..128).collect::<Vec<_>>());
+        let rep = t.run(&mut sys, 40);
+        let digest = recorder.borrow().digest();
+        (
+            rep.system.steps,
+            rep.system.stm.clone(),
+            rep.system.tx.commits,
+            digest,
+        )
+    };
+    assert_eq!(run(), run());
+}
