@@ -11,7 +11,7 @@
 use std::time::Instant;
 use ztm_bench::{
     bench_tag, cpu_counts, digest_only, full, ops_for, print_header, print_row, quick, sweep,
-    system_config, write_bench_json, write_bench_json_digest, Timing,
+    system_config, write_bench_json_digest, write_bench_json_sweep, SweepTable, Timing,
 };
 use ztm_sim::System;
 use ztm_trace::{Recorder, Tracer};
@@ -79,12 +79,23 @@ fn main() {
     let base = results[0].0;
     print_header("threads", &["Locks", "TBEGIN", "Unsync"]);
     let (mut lock_top, mut elision_top, mut unsync_top) = (0.0, 0.0, 0.0);
+    let mut rows = Vec::with_capacity(threads.len());
     for (i, &n) in threads.iter().enumerate() {
         lock_top = results[1 + 3 * i].0 / base;
         elision_top = results[2 + 3 * i].0 / base;
         unsync_top = results[3 + 3 * i].0 / base;
         print_row(n, &[lock_top, elision_top, unsync_top]);
+        rows.push((n, vec![lock_top, elision_top, unsync_top]));
     }
+    // The printed figure, exported verbatim so `results/plot_fig5e_full.py`
+    // can render it offline. Named "cpus"/"lock"/... — the digest-only
+    // artifact diff grep-extracts headline keys like "threads", which must
+    // stay unique in this file.
+    let sweep_table = SweepTable {
+        x: "cpus",
+        series: &["lock", "elision", "unsync"],
+        rows,
+    };
     // The single-CPU unsync run: IPC with no synchronization and no other
     // CPU's clock in the max, i.e. the core's own issue rate.
     let ipc = results.last().unwrap().1.ipc();
@@ -126,10 +137,11 @@ fn main() {
         t.populate(&mut sys, &(0..1024).collect::<Vec<_>>());
         t.run(&mut sys, ops_for(top).min(150));
         timing.add_run(t0.elapsed(), &sys.report());
-        let rec = recorder.borrow();
-        write_bench_json(
+        let rec = recorder.lock().unwrap();
+        write_bench_json_sweep(
             &bench_tag("fig5e_hashtable"),
             &headlines,
+            Some(&sweep_table),
             Some(&rec),
             Some(&timing),
         )

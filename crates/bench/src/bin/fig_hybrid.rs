@@ -164,7 +164,7 @@ fn main() {
         sys.set_tracer(tracer);
         let (rep, wall) = run_in(workload, Mode::Hybrid, &mut sys, short(top));
         timing.add_run(wall, &rep.system);
-        let rec = recorder.borrow();
+        let rec = recorder.lock().unwrap();
         match write_bench_json(
             &bench_tag(&format!("hybrid_{workload}")),
             &headlines,

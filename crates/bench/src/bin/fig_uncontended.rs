@@ -44,7 +44,7 @@ fn main() {
         100.0 * (tbegin.avg_op_cycles() - tbeginc.avg_op_cycles()).abs() / tbegin.avg_op_cycles();
     println!("TBEGIN advantage over lock : {tx_vs_lock:+.1}%   (paper: ~+30%)");
     println!("TBEGINC vs TBEGIN          : {c_vs_nc:.2}%   (paper: ~0.4%)");
-    let rec = recorder.borrow();
+    let rec = recorder.lock().unwrap();
     match write_bench_json(
         "E1_uncontended",
         &[

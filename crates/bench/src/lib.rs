@@ -20,11 +20,9 @@
 //! `cargo run --release -p ztm-bench --bin fig5b`.
 //! Set `ZTM_QUICK=1` for a reduced sweep.
 
-use std::cell::RefCell;
 use std::path::PathBuf;
-use std::rc::Rc;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use ztm_sim::{System, SystemConfig, SystemReport};
 use ztm_trace::{Recorder, Tracer};
 use ztm_workloads::pool::{PoolLayout, PoolWorkload, SyncMethod};
@@ -57,16 +55,14 @@ pub fn cpu_counts() -> Vec<usize> {
 
 /// Whether quick mode is on (smaller sweeps for CI/tests).
 pub fn quick() -> bool {
-    std::env::var("ZTM_QUICK")
-        .map(|v| v == "1")
-        .unwrap_or(false)
+    ztm_sim::env_flag("ZTM_QUICK")
 }
 
 /// Whether the full-topology tier is on (`ZTM_FULL=1`): sweep to 144 CPUs
 /// on the real zEC12 book/chip arrangement instead of the paper's testbed
 /// MCM granularity. Orthogonal to [`quick`], which still shrinks op counts.
 pub fn full() -> bool {
-    std::env::var("ZTM_FULL").map(|v| v == "1").unwrap_or(false)
+    ztm_sim::env_flag("ZTM_FULL")
 }
 
 /// The system configuration for one sweep point, honoring the
@@ -95,27 +91,30 @@ pub fn bench_tag(name: &str) -> String {
     tag
 }
 
-/// The pipeline issue width in effect, when above 1 (`ZTM_ISSUE_WIDTH`;
-/// parse errors are left to `System::new`, which fails loudly on them).
+/// The pipeline issue width in effect, when above 1 (`ZTM_ISSUE_WIDTH`,
+/// validated by [`ztm_sim::env_usize`] — a bad token fails loudly here
+/// rather than silently running unpipelined).
 pub fn issue_width() -> Option<u64> {
-    std::env::var("ZTM_ISSUE_WIDTH")
-        .ok()
-        .and_then(|v| v.trim().parse::<u64>().ok())
+    ztm_sim::env_usize("ZTM_ISSUE_WIDTH")
+        .map(|w| w as u64)
         .filter(|&w| w > 1)
 }
 
 /// Worker-thread count for [`sweep`]: `ZTM_BENCH_THREADS` if set (≥ 1),
 /// otherwise the host's available parallelism.
 pub fn bench_threads() -> usize {
-    std::env::var("ZTM_BENCH_THREADS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .filter(|&n| n >= 1)
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-        })
+    ztm_sim::env_usize("ZTM_BENCH_THREADS").unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// Intra-run host threads (`ZTM_SIM_THREADS`) in effect for the systems
+/// this process builds — the sharded-simulation dial, as opposed to
+/// [`bench_threads`], which fans independent sweep points out.
+pub fn sim_threads() -> usize {
+    ztm_sim::env_usize("ZTM_SIM_THREADS").unwrap_or(1)
 }
 
 /// Runs `f` over every config, fanning the points out across worker threads,
@@ -200,7 +199,7 @@ pub fn run_pool_traced(
     pool: u64,
     vars: usize,
     seed: u64,
-) -> (WorkloadReport, Rc<RefCell<Recorder>>) {
+) -> (WorkloadReport, Arc<Mutex<Recorder>>) {
     let wl = PoolWorkload::new(PoolLayout::new(pool, vars), method, seed);
     let mut sys = System::new(system_config(cpus).seed(seed));
     let (tracer, recorder) = Tracer::recording(Recorder::DEFAULT_CAPACITY);
@@ -246,11 +245,12 @@ impl Timing {
         };
         format!(
             "{{ \"wall_ms\": {:.3}, \"steps_per_sec\": {:.0}, \"sim_cycles_per_sec\": {:.0}, \
-             \"commit\": \"{}\", \"host_threads\": {} }}",
+             \"commit\": \"{}\", \"host_threads\": {}, \"sweep_threads\": {} }}",
             self.wall_ms,
             per_sec(self.steps),
             per_sec(self.sim_cycles),
             commit_id(),
+            sim_threads(),
             bench_threads()
         )
     }
@@ -300,17 +300,48 @@ pub fn write_bench_json(
     recorder: Option<&Recorder>,
     timing: Option<&Timing>,
 ) -> std::io::Result<PathBuf> {
-    let dir = PathBuf::from(std::env::var("ZTM_RESULTS_DIR").unwrap_or_else(|_| "results".into()));
-    write_bench_json_to(&dir, name, headlines, recorder, timing)
+    write_bench_json_sweep(name, headlines, None, recorder, timing)
 }
 
-/// [`write_bench_json`] with an explicit target directory — the testable
-/// core (tests must not mutate `ZTM_RESULTS_DIR`, which is process-global
-/// and races with any parallel test reading it).
+/// [`write_bench_json`] plus an optional per-point sweep table: the rows
+/// the binary printed as its figure, exported verbatim so offline tooling
+/// (`results/plot_fig5e_full.py`) can re-render the figure without
+/// re-running the simulator. The table is deterministic output and is
+/// diffed by CI like every other non-timing field.
+///
+/// # Errors
+///
+/// Propagates filesystem errors from creating the directory or writing.
+pub fn write_bench_json_sweep(
+    name: &str,
+    headlines: &[(&str, f64)],
+    sweep: Option<&SweepTable>,
+    recorder: Option<&Recorder>,
+    timing: Option<&Timing>,
+) -> std::io::Result<PathBuf> {
+    let dir = PathBuf::from(std::env::var("ZTM_RESULTS_DIR").unwrap_or_else(|_| "results".into()));
+    write_bench_json_to(&dir, name, headlines, sweep, recorder, timing)
+}
+
+/// A figure's per-point rows for [`write_bench_json_sweep`]: the x column
+/// name, one name per y series, and `(x, ys)` rows with one y per series.
+/// Series names must not collide with headline keys of the digest-only
+/// artifact shape (CI grep-extracts headline lines by key across the two
+/// shapes).
+pub struct SweepTable<'a> {
+    pub x: &'a str,
+    pub series: &'a [&'a str],
+    pub rows: Vec<(usize, Vec<f64>)>,
+}
+
+/// [`write_bench_json_sweep`] with an explicit target directory — the
+/// testable core (tests must not mutate `ZTM_RESULTS_DIR`, which is
+/// process-global and races with any parallel test reading it).
 pub fn write_bench_json_to(
     dir: &std::path::Path,
     name: &str,
     headlines: &[(&str, f64)],
+    sweep: Option<&SweepTable>,
     recorder: Option<&Recorder>,
     timing: Option<&Timing>,
 ) -> std::io::Result<PathBuf> {
@@ -323,6 +354,24 @@ pub fn write_bench_json_to(
         .map(|(k, v)| format!("    \"{k}\": {v}"))
         .collect();
     body.push_str(&format!("  \"headlines\": {{\n{}\n  }},\n", hl.join(",\n")));
+    if let Some(s) = sweep {
+        let series: Vec<String> = s.series.iter().map(|n| format!("\"{n}\"")).collect();
+        body.push_str(&format!(
+            "  \"sweep\": {{\n    \"x\": \"{}\",\n    \"series\": [{}],\n    \"rows\": [\n",
+            s.x,
+            series.join(", ")
+        ));
+        let rows: Vec<String> = s
+            .rows
+            .iter()
+            .map(|(x, ys)| {
+                let ys: Vec<String> = ys.iter().map(|y| format!("{y}")).collect();
+                format!("      [{x}, {}]", ys.join(", "))
+            })
+            .collect();
+        body.push_str(&rows.join(",\n"));
+        body.push_str("\n    ]\n  },\n");
+    }
     if let Some(t) = timing {
         body.push_str(&format!("  \"timing\": {},\n", t.json_value()));
     }
@@ -346,9 +395,7 @@ pub fn write_bench_json_to(
 /// export via [`write_bench_json_digest`] — the cheapest way to keep the
 /// determinism check while skipping ring buffering and metrics.
 pub fn digest_only() -> bool {
-    std::env::var("ZTM_DIGEST_ONLY")
-        .map(|v| v == "1")
-        .unwrap_or(false)
+    ztm_sim::env_flag("ZTM_DIGEST_ONLY")
 }
 
 /// The digest-only variant of [`write_bench_json`]: the same headline and
@@ -455,7 +502,12 @@ mod tests {
             &dir,
             "test",
             &[("cycles_per_op", report.avg_op_cycles())],
-            Some(&recorder.borrow()),
+            Some(&SweepTable {
+                x: "cpus",
+                series: &["lock", "elision"],
+                rows: vec![(1, vec![1.0, 1.25]), (2, vec![1.5, 4.0])],
+            }),
+            Some(&recorder.lock().unwrap()),
             Some(&timing),
         )
         .unwrap();
@@ -463,6 +515,14 @@ mod tests {
         assert!(text.contains("\"cycles_per_op\""));
         assert!(text.contains("\"abort_codes\""), "{text}");
         assert!(text.contains("\"digest\""));
+        // The sweep table rides as a deterministic field: x label, series
+        // names, and one row array per point.
+        assert!(text.contains("\"sweep\""), "{text}");
+        assert!(
+            text.contains("\"series\": [\"lock\", \"elision\"]"),
+            "{text}"
+        );
+        assert!(text.contains("[2, 1.5, 4]"), "{text}");
         // The timing key must stay on one line so CI can strip it with grep.
         let timing_lines: Vec<&str> = text.lines().filter(|l| l.contains("\"timing\"")).collect();
         assert_eq!(timing_lines.len(), 1);
@@ -481,11 +541,12 @@ mod tests {
         // grep-extract and diff them across the two artifact shapes.
         let dir = std::env::temp_dir().join("ztm-bench-digest-json-test");
         let (report, recorder) = run_pool_traced(SyncMethod::Tbegin, 2, 4, 1, 7);
-        let rec = recorder.borrow();
+        let rec = recorder.lock().unwrap();
         let full = write_bench_json_to(
             &dir,
             "full",
             &[("cycles_per_op", report.avg_op_cycles())],
+            None,
             Some(&rec),
             None,
         )

@@ -56,6 +56,25 @@ impl LatencyModel {
         }
     }
 
+    /// The minimum number of cycles any fetch crossing a shard boundary
+    /// takes to complete at the requester: the cheapest source on the far
+    /// side of the boundary. `same_mcm` selects a chip-level boundary
+    /// (shards are chips of one MCM); otherwise the boundary is the MCM
+    /// (book) itself.
+    ///
+    /// The sharded simulator's epoch windows do not *need* this slack —
+    /// XI state transitions are synchronous at the requester's step clock,
+    /// so windows are bounded by exact (clock, cpu) ordering — but the
+    /// bound anchors the determinism proptest: no cross-shard install may
+    /// complete earlier than `access clock + min_cross_boundary_latency`.
+    pub fn min_cross_boundary_latency(&self, same_mcm: bool) -> u64 {
+        if same_mcm {
+            self.l4_hit.min(self.memory)
+        } else {
+            self.cross_mcm.min(self.memory)
+        }
+    }
+
     /// Latency of a cache-to-cache transfer from a holder at `distance`.
     pub fn transfer(&self, distance: Distance) -> u64 {
         let base = match distance {

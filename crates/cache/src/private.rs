@@ -221,6 +221,27 @@ impl PrivateCache {
         self.l2.peek(line).map(|e| e.state)
     }
 
+    /// Pure (stamp-free) preview of what [`access_local`](Self::access_local)
+    /// would return for a `need_excl` access to `line`: `Some(level)` with a
+    /// [`hit_level`] code when the access hits locally, `None` when it would
+    /// need the fabric. The shard classifier uses it to prove a step never
+    /// leaves its node before letting the step run inside a parallel epoch
+    /// window.
+    pub fn probe_local(&self, line: LineAddr, need_excl: bool) -> Option<u8> {
+        match self.l2.peek(line).map(|e| e.state) {
+            None => None,
+            Some(state) => {
+                if need_excl && state == CohState::ReadOnly {
+                    None
+                } else if self.l1.peek(line).is_some() {
+                    Some(hit_level::L1)
+                } else {
+                    Some(hit_level::L2)
+                }
+            }
+        }
+    }
+
     /// Number of L1 rows with the LRU-extension bit set.
     pub fn lru_ext_rows(&self) -> usize {
         self.lru_ext.iter().filter(|b| **b).count()

@@ -381,7 +381,7 @@ pub fn execute(o: &Options) -> Result<String, String> {
         );
     }
     if let Some(rec) = &recorder {
-        let rec = rec.borrow();
+        let rec = rec.lock().unwrap();
         let _ = writeln!(
             out,
             "trace events      : {} recorded, {} dropped, digest {:#018x}",

@@ -445,6 +445,16 @@ impl TxEngine {
         None
     }
 
+    /// Whether the diagnostic control could draw from the RNG or force an
+    /// abort on upcoming instructions. With the control off and no armed
+    /// countdown, `tdc_tick` is a pure no-op — the predicate the shard
+    /// classifier needs before letting in-transaction steps run inside a
+    /// parallel epoch window (where an unexpected RNG draw or forced abort
+    /// would diverge from the serial schedule).
+    pub fn tdc_active(&self) -> bool {
+        !matches!(self.tdc, DiagnosticControl::Off) || self.tdc_countdown.is_some()
+    }
+
     /// Whether the diagnostic control demands an abort *instead of* the
     /// outermost TEND ("at latest before the outermost TEND", §II.E.3).
     pub fn tdc_forces_abort_at_tend(&self) -> bool {

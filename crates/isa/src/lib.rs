@@ -55,7 +55,7 @@ mod pipeline;
 mod reg;
 
 pub use asm::{AsmError, Assembler, Program};
-pub use cpu::{run_to_halt, step, step_legacy, StepEvent, StepOutcome};
+pub use cpu::{effective_address_decoded, run_to_halt, step, step_legacy, StepEvent, StepOutcome};
 pub use decoded::{DecodedInstr, Op};
 pub use instr::{cc_mask, CmpCond, Instr, MemOperand, RegOrImm};
 pub use machine::{

@@ -31,5 +31,5 @@ mod page;
 pub use addr::{Address, HalfLineAddr, LineAddr, Octoword, PageAddr};
 pub use addr::{HALF_LINE_SIZE, LINE_SIZE, OCTOWORD_SIZE, PAGE_SIZE};
 pub use error::MemFault;
-pub use memory::{AddrHashBuilder, AddrHasher, MainMemory};
+pub use memory::{AddrHashBuilder, AddrHasher, MainMemory, SharedMem};
 pub use page::PageTable;

@@ -20,8 +20,35 @@
 
 mod config;
 mod report;
+mod shard;
 mod system;
 
 pub use config::SystemConfig;
 pub use report::{StmCounts, SystemReport};
-pub use system::{System, TraceRecord};
+pub use system::{StepLogEntry, System, TraceRecord};
+
+/// Reads a `ZTM_*` boolean switch. Per the workspace convention only the
+/// value `"1"` engages a switch — `ZTM_FOO=0` and `ZTM_FOO=` must mean off,
+/// so stray shell exports cannot flip behavior by accident.
+pub fn env_flag(name: &str) -> bool {
+    std::env::var(name).map(|v| v == "1").unwrap_or(false)
+}
+
+/// Reads a `ZTM_*` positive-integer knob. Absent or empty → `None` (the
+/// default engages); a valid positive integer engages it; anything else is a
+/// configuration error worth failing loudly on, naming the bad token.
+///
+/// # Panics
+///
+/// Panics when the variable is set to something other than a positive
+/// integer.
+pub fn env_usize(name: &str) -> Option<usize> {
+    let v = std::env::var(name).ok()?;
+    if v.trim().is_empty() {
+        return None;
+    }
+    match v.trim().parse::<usize>() {
+        Ok(n) if n > 0 => Some(n),
+        _ => panic!("{name}: expected a positive integer, got {v:?}"),
+    }
+}

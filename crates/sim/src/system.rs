@@ -4,22 +4,27 @@
 
 use crate::config::SystemConfig;
 use crate::report::SystemReport;
+use crate::shard::{safe_set, split_mut, Candidate, ShardPlan};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
-use std::sync::Arc;
+use std::sync::atomic::AtomicU64;
+use std::sync::{Arc, Mutex};
 use ztm_cache::{
     AccessClass, CohState, CpuId, Fabric, FetchKind, FootprintEvent, LocalHit, PrivateCache, Xi,
     XiKind, XiResponse,
 };
-use ztm_core::{AbortCause, ProgramException, TbeginParams, TendOutcome, TxEngine, TxStats};
-use ztm_isa::{
-    finish_abort, AbortApply, AccessResult, CasResult, CpuCore, EndResult, ExceptionDisposition,
-    Machine, Program, StepEvent, StepOutcome,
+use ztm_core::{
+    AbortCause, InstrClass, ProgramException, TbeginParams, TendOutcome, TxEngine, TxStats,
 };
-use ztm_mem::{Address, LineAddr, MainMemory, PageTable, HALF_LINE_SIZE};
-use ztm_trace::{Event, Tracer};
+use ztm_isa::{
+    decoded::{Op, FLAG_FOR_UPDATE},
+    effective_address_decoded, finish_abort, AbortApply, AccessResult, CasResult, CpuCore,
+    DecodedInstr, EndResult, ExceptionDisposition, Machine, Program, StepEvent, StepOutcome,
+};
+use ztm_mem::{Address, LineAddr, MainMemory, PageTable, SharedMem, HALF_LINE_SIZE};
+use ztm_trace::{Event, EventBuffer, SeqTracedEvent, Tracer};
 
 /// Per-CPU memory-side state.
 #[derive(Debug)]
@@ -97,6 +102,23 @@ pub struct TraceRecord {
     /// Disassembled instruction text.
     pub text: String,
     /// What the step did (executed, stalled, committed, aborted).
+    pub event: StepEvent,
+    /// Cycles the step consumed.
+    pub cycles: u64,
+}
+
+/// One entry of the lightweight step log (see [`System::set_step_log`]):
+/// which CPU stepped at which pre-step clock, what the step did, and how
+/// many cycles it took. The sharded and serial engines must produce
+/// identical logs — the lockstep differential in `tests/sharded.rs` pins
+/// that.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StepLogEntry {
+    /// The CPU's local clock before the step.
+    pub clock: u64,
+    /// The CPU that stepped.
+    pub cpu: usize,
+    /// What the step did.
     pub event: StepEvent,
     /// Cycles the step consumed.
     pub cycles: u64,
@@ -189,6 +211,36 @@ pub struct System {
     /// through the full directory walk. Results are identical either way —
     /// only host speed differs (pinned by `tests/coalesce.rs`).
     coalesce: bool,
+    /// Host threads for the sharded run path (`ZTM_SIM_THREADS` /
+    /// [`set_sim_threads`](Self::set_sim_threads)). `1` (the default) keeps
+    /// the serial scheduler; above `1` the run methods route through the
+    /// round-based sharded driver, which executes provably node-local steps
+    /// of different shards concurrently. Simulation results are
+    /// byte-identical for any value.
+    sim_threads: usize,
+    /// Optional full step log ([`set_step_log`](Self::set_step_log)) — the
+    /// differential-test hook proving the sharded engine replays the serial
+    /// step order exactly.
+    step_log: Option<Vec<StepLogEntry>>,
+    /// Steps the sharded driver executed inside parallel (shard-local)
+    /// rounds, as opposed to serialized coordinator steps. Pure statistics —
+    /// measures how much of a run actually parallelizes.
+    sharded_local_steps: u64,
+    /// Minimum shard-local steps a round needs before it is dispatched on
+    /// scoped threads instead of inline (`ZTM_SHARD_ROUND_MIN` /
+    /// [`set_shard_round_min`](Self::set_shard_round_min)). A host-speed
+    /// dial only: both dispatch modes run the identical shard-step code,
+    /// so results never depend on it.
+    par_round_min: usize,
+    /// Step-log entries executed by shard run-ahead whose serial position
+    /// is not yet final: an entry is released into `step_log` only once the
+    /// global key frontier (the smallest next `(clock, cpu)` key of any
+    /// runnable CPU) passes it — no later step can then precede it. Kept
+    /// key-sorted; survives `step_many` budget boundaries.
+    pending_log: Vec<StepLogEntry>,
+    /// Event blocks awaiting the same frontier, replayed into the real
+    /// tracer in serial key order (see [`pending_log`](Self::pending_log)).
+    pending_blocks: Vec<(u64, u16, Vec<SeqTracedEvent>)>,
 }
 
 /// The issue windows plus the width they were built with (cached for trace
@@ -249,11 +301,7 @@ impl System {
             hot_dirty: false,
             // Debug lever: `ZTM_LEGACY_INTERP=1` routes every system through
             // the legacy walk (results are identical, only speed differs).
-            // Like every other `ZTM_*` switch, only the value "1" engages it
-            // — `ZTM_LEGACY_INTERP=0` must mean off.
-            use_legacy_interpreter: std::env::var("ZTM_LEGACY_INTERP")
-                .map(|v| v == "1")
-                .unwrap_or(false),
+            use_legacy_interpreter: crate::env_flag("ZTM_LEGACY_INTERP"),
             programs: vec![None; cpus],
             quiesce: None,
             ready: BinaryHeap::with_capacity(cpus + 1),
@@ -266,11 +314,14 @@ impl System {
             pipeline: Self::issue_width_from_env()
                 .map(|w| PipelineState::new(w, cpus, config.latency.lsu_ports)),
             // Escape hatch: `ZTM_NO_COALESCE=1` disables the line-window
-            // fast path. Only the value "1" engages it (the `ZTM_*`
-            // convention — `ZTM_NO_COALESCE=0` must mean coalescing on).
-            coalesce: std::env::var("ZTM_NO_COALESCE")
-                .map(|v| v != "1")
-                .unwrap_or(true),
+            // fast path.
+            coalesce: !crate::env_flag("ZTM_NO_COALESCE"),
+            sim_threads: crate::env_usize("ZTM_SIM_THREADS").unwrap_or(1),
+            step_log: None,
+            sharded_local_steps: 0,
+            par_round_min: crate::env_usize("ZTM_SHARD_ROUND_MIN").unwrap_or(96),
+            pending_log: Vec::new(),
+            pending_blocks: Vec::new(),
             config,
         }
     }
@@ -363,6 +414,62 @@ impl System {
             self.cores.len(),
             self.config.latency.lsu_ports,
         ));
+    }
+
+    /// Sets the host-thread count for the sharded run path (also settable
+    /// at construction via `ZTM_SIM_THREADS`). `1` (the default) keeps the
+    /// single-threaded scheduler; above `1` the run methods partition the
+    /// simulated SMP at a coherence boundary of the topology — per book
+    /// (MCM), per chip when the machine is a single book — and advance
+    /// provably node-local steps of different shards concurrently inside
+    /// conservative round windows. Everything that crosses the boundary is
+    /// serialized by the coordinator, so simulation results (architectural
+    /// state, statistics, the committed event stream and both trace digests)
+    /// are byte-identical for any value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn set_sim_threads(&mut self, threads: usize) {
+        assert!(threads > 0, "sim_threads must be positive");
+        self.sim_threads = threads;
+    }
+
+    /// The configured host-thread count (see
+    /// [`set_sim_threads`](Self::set_sim_threads)).
+    pub fn sim_threads(&self) -> usize {
+        self.sim_threads
+    }
+
+    /// How many steps the sharded driver executed inside parallel
+    /// (shard-local) rounds so far — the complement of the serialized
+    /// coordinator steps. Zero when running the serial scheduler.
+    pub fn sharded_local_steps(&self) -> u64 {
+        self.sharded_local_steps
+    }
+
+    /// Sets the minimum round size (in shard-local steps) that dispatches
+    /// on scoped host threads; smaller rounds run inline. Purely a host
+    /// speed/overhead trade — results are identical for any value.
+    pub fn set_shard_round_min(&mut self, min: usize) {
+        self.par_round_min = min.max(1);
+    }
+
+    /// Enables or disables the full step log: every executed step is
+    /// recorded as a [`StepLogEntry`] in serial scheduling order. This is
+    /// the lockstep hook for the sharded-vs-serial differential tests;
+    /// unbounded, so keep runs short while enabled.
+    pub fn set_step_log(&mut self, enabled: bool) {
+        self.step_log = if enabled { Some(Vec::new()) } else { None };
+    }
+
+    /// Takes the accumulated step log, leaving an empty one behind (empty
+    /// `Vec` if logging was never enabled).
+    pub fn take_step_log(&mut self) -> Vec<StepLogEntry> {
+        match self.step_log.as_mut() {
+            Some(log) => std::mem::take(log),
+            None => Vec::new(),
+        }
     }
 
     /// Rebuilds the node-major hot mirrors from the cores.
@@ -525,6 +632,112 @@ impl System {
         self.step_upto(1)
     }
 
+    /// Executes exactly one instruction on CPU `i` with full system access
+    /// (exclusive memory and page-table ports, the coherence fabric) and
+    /// performs every per-step obligation: timer interruptions, tracing, the
+    /// hot-mirror writeback, statistics, and broadcast-stop quiesce
+    /// management. Scheduling (heap maintenance, round planning) is the
+    /// caller's job — both the serial batch loop and the sharded
+    /// coordinator's global-step path funnel through here, which is what
+    /// keeps their per-step behavior identical by construction.
+    fn exec_step(&mut self, i: usize) -> StepOutcome {
+        // Timer interruptions (abort any running transaction, §II.A).
+        if let Some(t) = self.config.timer_interval {
+            if self.hot_clock[i] - self.nodes[i].last_timer >= t {
+                self.nodes[i].last_timer = self.hot_clock[i];
+                self.nodes[i].engine.raise_async_interruption();
+            }
+        }
+
+        let prog: &Arc<Program> = self.programs[i].as_ref().expect("program loaded");
+        self.tracer.set_clock(self.hot_clock[i]);
+        let mut view = View {
+            cpu: i,
+            base: 0,
+            now: self.hot_clock[i],
+            tracer: &self.tracer,
+            nodes: &mut self.nodes,
+            fabric: Some(&mut self.fabric),
+            mem: MemPort::Excl(&mut self.mem),
+            pages: PagePort::Direct(&mut self.pages),
+            fabric_busy: Some(&mut self.fabric_busy),
+            config: &self.config,
+            coalesce: self.coalesce,
+            hit_slot: None,
+        };
+        let traced = self.traced[i];
+        let (pre_clock, pre_pc) = (self.hot_clock[i], self.cores[i].pc);
+        let out = if let Some(pl) = self.pipeline.as_mut() {
+            ztm_isa::step_pipelined(&mut self.cores[i], prog, &mut view, &mut pl.windows[i])
+        } else if self.use_legacy_interpreter {
+            ztm_isa::step_legacy(&mut self.cores[i], prog, &mut view)
+        } else {
+            ztm_isa::step(&mut self.cores[i], prog, &mut view)
+        };
+        // Pipeline trace events carry the retire-time clock. Only widths
+        // above 1 emit — the width-1 window is byte-identical to the
+        // scalar path and must leave digests untouched.
+        if let Some(pl) = self.pipeline.as_mut() {
+            if pl.width > 1 && self.tracer.is_enabled() {
+                let rep = pl.windows[i].take_report();
+                self.tracer.set_clock(self.cores[i].clock);
+                if let Some(size) = rep.closed_group {
+                    let width = pl.width.min(255) as u8;
+                    self.tracer
+                        .emit_at(i as u16, || Event::IssueGroup { width, size });
+                }
+                if let Some((reason, waited)) = rep.stall {
+                    self.tracer.emit_at(i as u16, || Event::IssueStall {
+                        reason: reason.code(),
+                        waited,
+                    });
+                }
+            }
+        }
+        // Mirror the stepped core's hot state back into the node-major
+        // arrays before any scheduling decision reads them.
+        self.hot_clock[i] = self.cores[i].clock;
+        self.hot_running[i] = self.cores[i].is_running();
+        self.steps += 1;
+        if let Some(log) = self.step_log.as_mut() {
+            log.push(StepLogEntry {
+                clock: pre_clock,
+                cpu: i,
+                event: out.event,
+                cycles: out.cycles,
+            });
+        }
+        if traced {
+            if self.trace.len() == self.trace_capacity {
+                self.trace.pop_front();
+            }
+            self.trace.push_back(TraceRecord {
+                cpu: i,
+                clock: pre_clock,
+                ia: prog.addr_of(pre_pc),
+                text: prog.instr(pre_pc).to_string(),
+                event: out.event,
+                cycles: out.cycles,
+            });
+        }
+
+        if out.event == StepEvent::Stalled {
+            self.nodes[i].stalls += 1;
+        }
+        // Broadcast-stop quiesce management (§III.E).
+        if out.broadcast_stop {
+            self.quiesce = Some(i);
+        } else if self.quiesce == Some(i)
+            && matches!(out.event, StepEvent::Committed | StepEvent::Halted)
+        {
+            self.release_quiesce(i);
+        }
+        if self.quiesce == Some(i) && !self.hot_running[i] {
+            self.release_quiesce(i);
+        }
+        out
+    }
+
     /// Steps up to `limit` instructions, returning the last `(cpu, outcome)`
     /// (`None` when every CPU has halted before the first step).
     ///
@@ -554,91 +767,7 @@ impl System {
         };
         let mut done = 0u64;
         loop {
-            // Timer interruptions (abort any running transaction, §II.A).
-            if let Some(t) = self.config.timer_interval {
-                if self.hot_clock[i] - self.nodes[i].last_timer >= t {
-                    self.nodes[i].last_timer = self.hot_clock[i];
-                    self.nodes[i].engine.raise_async_interruption();
-                }
-            }
-
-            let prog: &Arc<Program> = self.programs[i].as_ref().expect("program loaded");
-            self.tracer.set_clock(self.hot_clock[i]);
-            let mut view = View {
-                cpu: i,
-                now: self.hot_clock[i],
-                tracer: &self.tracer,
-                nodes: &mut self.nodes,
-                fabric: &mut self.fabric,
-                mem: &mut self.mem,
-                pages: &mut self.pages,
-                fabric_busy: &mut self.fabric_busy,
-                config: &self.config,
-                coalesce: self.coalesce,
-                hit_slot: None,
-            };
-            let traced = self.traced[i];
-            let (pre_clock, pre_pc) = (self.hot_clock[i], self.cores[i].pc);
-            let out = if let Some(pl) = self.pipeline.as_mut() {
-                ztm_isa::step_pipelined(&mut self.cores[i], prog, &mut view, &mut pl.windows[i])
-            } else if self.use_legacy_interpreter {
-                ztm_isa::step_legacy(&mut self.cores[i], prog, &mut view)
-            } else {
-                ztm_isa::step(&mut self.cores[i], prog, &mut view)
-            };
-            // Pipeline trace events carry the retire-time clock. Only widths
-            // above 1 emit — the width-1 window is byte-identical to the
-            // scalar path and must leave digests untouched.
-            if let Some(pl) = self.pipeline.as_mut() {
-                if pl.width > 1 && self.tracer.is_enabled() {
-                    let rep = pl.windows[i].take_report();
-                    self.tracer.set_clock(self.cores[i].clock);
-                    if let Some(size) = rep.closed_group {
-                        let width = pl.width.min(255) as u8;
-                        self.tracer
-                            .emit_at(i as u16, || Event::IssueGroup { width, size });
-                    }
-                    if let Some((reason, waited)) = rep.stall {
-                        self.tracer.emit_at(i as u16, || Event::IssueStall {
-                            reason: reason.code(),
-                            waited,
-                        });
-                    }
-                }
-            }
-            // Mirror the stepped core's hot state back into the node-major
-            // arrays before any scheduling decision reads them.
-            self.hot_clock[i] = self.cores[i].clock;
-            self.hot_running[i] = self.cores[i].is_running();
-            self.steps += 1;
-            if traced {
-                if self.trace.len() == self.trace_capacity {
-                    self.trace.pop_front();
-                }
-                self.trace.push_back(TraceRecord {
-                    cpu: i,
-                    clock: pre_clock,
-                    ia: prog.addr_of(pre_pc),
-                    text: prog.instr(pre_pc).to_string(),
-                    event: out.event,
-                    cycles: out.cycles,
-                });
-            }
-
-            if out.event == StepEvent::Stalled {
-                self.nodes[i].stalls += 1;
-            }
-            // Broadcast-stop quiesce management (§III.E).
-            if out.broadcast_stop {
-                self.quiesce = Some(i);
-            } else if self.quiesce == Some(i)
-                && matches!(out.event, StepEvent::Committed | StepEvent::Halted)
-            {
-                self.release_quiesce(i);
-            }
-            if self.quiesce == Some(i) && !self.hot_running[i] {
-                self.release_quiesce(i);
-            }
+            let out = self.exec_step(i);
             // Keep this CPU's heap entry fresh. While it holds the quiesce
             // it is scheduled directly (its stale entry is skipped lazily),
             // so pushing waits until the quiesce releases — the release path
@@ -705,6 +834,414 @@ impl System {
         }
     }
 
+    // ------------------------------------------------------------------
+    // Sharded (host-parallel) execution
+    // ------------------------------------------------------------------
+
+    /// Whether the run methods should route through the sharded round
+    /// driver: more than one host thread requested, more than one shard in
+    /// the topology, and none of the inherently serial features engaged
+    /// (issue windows re-time retirement through per-step reports, the
+    /// legacy interpreter is a debug lever, and the disassembling step
+    /// trace reads program text during the step).
+    fn sharded_active(&self) -> bool {
+        self.sim_threads > 1
+            && self.pipeline.is_none()
+            && !self.use_legacy_interpreter
+            && !self.traced.iter().any(|&t| t)
+            && ShardPlan::new(&self.config.topology).shard_count() > 1
+    }
+
+    /// Classifies CPU `i`'s next instruction step without executing it
+    /// (coordinator entry point into [`classify_step_at`]).
+    fn classify_step(&self, i: usize) -> Candidate {
+        classify_step_at(
+            i,
+            self.hot_clock[i],
+            &self.nodes[i],
+            &self.cores[i],
+            self.programs[i].as_ref().expect("program loaded"),
+            &self.pages,
+            SlotView::Main(&self.mem),
+            &self.config,
+            self.coalesce,
+        )
+    }
+
+    /// Runs up to `limit` steps through the sharded round scheduler,
+    /// stopping early when every CPU halts or, with `horizon`, when the
+    /// next serial pick would start at or past it (the exact
+    /// [`run_for_cycles`](Self::run_for_cycles) stopping rule). Returns
+    /// how many steps executed.
+    ///
+    /// Each round classifies every runnable CPU within one cycle of the
+    /// minimum `(clock, cpu)` key and executes the [`safe_set`] — the
+    /// key-ordered prefix of provably node-local steps the serial
+    /// scheduler would run next, partitioned across shards. Each admitted
+    /// CPU then *runs ahead* inside its shard: the shard re-classifies the
+    /// CPU's own next step (node state and the read-only shared structures
+    /// are all it needs) and keeps executing while the step stays local
+    /// and its key stays strictly below the round bound — the earliest
+    /// key at which any *other* runnable CPU could next go global. Rounds
+    /// concatenated in key order *are* the serial step sequence, so state,
+    /// statistics, step logs, and the replayed event stream are
+    /// byte-identical to the single-threaded scheduler for any host-thread
+    /// count.
+    fn run_sharded_upto(&mut self, limit: u64, horizon: Option<u64>) -> u64 {
+        if self.hot_dirty {
+            self.sync_hot();
+        }
+        let plan = ShardPlan::new(&self.config.topology);
+        let shard_count = plan.shard_count();
+
+        // Reroute every event emitter into per-shard buffers (plus one for
+        // the coordinator: the fabric and pipeline emit through
+        // `self.tracer`) sharing a single ticket counter. Each round's
+        // buffered events are replayed into the real sink in serial step
+        // order before the next round, so sinks observe the exact serial
+        // stream.
+        let real = self.tracer.clone();
+        let buffering = real.is_enabled();
+        let mut shard_tracers: Vec<Tracer> = Vec::new();
+        let mut shard_bufs: Vec<Arc<Mutex<EventBuffer>>> = Vec::new();
+        let mut sys_buf: Option<Arc<Mutex<EventBuffer>>> = None;
+        if buffering {
+            let seq = Arc::new(AtomicU64::new(0));
+            for s in 0..shard_count {
+                let (t, b) = Tracer::buffering(Arc::clone(&seq));
+                for cpu in plan.range(s) {
+                    self.nodes[cpu].cache.set_tracer(t.for_cpu(cpu as u16));
+                    self.nodes[cpu].engine.set_tracer(t.for_cpu(cpu as u16));
+                }
+                shard_tracers.push(t);
+                shard_bufs.push(b);
+            }
+            let (t, b) = Tracer::buffering(seq);
+            self.fabric.set_tracer(t.clone());
+            self.tracer = t;
+            sys_buf = Some(b);
+        } else {
+            // Disabled stand-ins keep the shard-step path uniform.
+            shard_tracers = (0..shard_count).map(|_| Tracer::disabled()).collect();
+        }
+
+        let mut executed = 0u64;
+        let mut cands: Vec<Candidate> = Vec::new();
+        // `done` = nothing left to run this side of the frontier (all CPUs
+        // halted, or every next key is at or past the horizon): pending
+        // run-ahead output is final and flushes completely. A `limit` exit
+        // leaves it pending — the continuation call may still execute
+        // smaller keys.
+        let mut done = false;
+        while executed < limit {
+            // Mirror the serial scheduler: a running broadcast-stop holder
+            // is stepped directly; otherwise the smallest (clock, cpu)
+            // runnable CPU is next.
+            let holder = match self.quiesce {
+                Some(h) if self.hot_running[h] => Some(h),
+                _ => {
+                    self.quiesce = None;
+                    None
+                }
+            };
+            let mut min: Option<(u64, usize)> = None;
+            for i in 0..self.hot_clock.len() {
+                if self.hot_running[i] && self.programs[i].is_some() {
+                    let key = (self.hot_clock[i], i);
+                    if min.is_none_or(|m| key < m) {
+                        min = Some(key);
+                    }
+                }
+            }
+            let Some((min_clock, min_cpu)) = min else {
+                done = true;
+                break;
+            };
+            // Frontier flush: every future step's key is at least the
+            // serial minimum, so pending run-ahead output strictly below
+            // it is in its final position.
+            self.flush_pending_below((min_clock, min_cpu), &real);
+            if horizon.is_some_and(|hz| min_clock >= hz) {
+                done = true;
+                break;
+            }
+            if let Some(h) = holder {
+                // A global step's key is provably above every pending
+                // run-ahead key (run-ahead never passes another CPU's
+                // earliest-possible-global key), so pending output is
+                // final before any serialized step.
+                self.flush_pending_below((u64::MAX, usize::MAX), &real);
+                self.exec_global_round(h, &shard_tracers, &shard_bufs, sys_buf.as_ref(), &real);
+                executed += 1;
+                continue;
+            }
+            // Only CPUs within one cycle of the minimum can join the
+            // round; every runnable CPU beyond that window still bounds
+            // run-ahead conservatively at its current key (it could go
+            // global the moment it becomes schedulable).
+            cands.clear();
+            let mut outside = (u64::MAX, usize::MAX);
+            for i in 0..self.hot_clock.len() {
+                if self.hot_running[i] && self.programs[i].is_some() {
+                    if self.hot_clock[i] <= min_clock + 1 {
+                        cands.push(self.classify_step(i));
+                    } else {
+                        outside = outside.min((self.hot_clock[i], i));
+                    }
+                }
+            }
+            let mut safe = safe_set(&cands);
+            // The horizon is a hard key ceiling: nothing at or past
+            // `(hz, 0)` may execute, whether admitted or run ahead (keys
+            // are ascending, so admission truncation is a prefix cut and
+            // never empties a non-empty set — the serial-min key is below
+            // the horizon, checked above).
+            let ceiling = horizon.map_or((u64::MAX, usize::MAX), |hz| (hz, 0));
+            if horizon.is_some() {
+                safe.truncate(
+                    safe.partition_point(|&(at, _)| (cands[at].clock, cands[at].cpu) < ceiling),
+                );
+            }
+            if safe.is_empty() {
+                // The serial pick itself is global: run exactly that one
+                // step under the coordinator and re-plan. Pending keys are
+                // all below a global step's key (see the holder case), so
+                // they flush first.
+                self.flush_pending_below((u64::MAX, usize::MAX), &real);
+                self.exec_global_round(
+                    min_cpu,
+                    &shard_tracers,
+                    &shard_bufs,
+                    sys_buf.as_ref(),
+                    &real,
+                );
+                executed += 1;
+                continue;
+            }
+            // A key-ordered prefix of the safe set is still an exact
+            // serial prefix — truncate to the remaining step budget, and
+            // divide what's left of the budget into per-chain run-ahead
+            // caps so a round can never overshoot `limit`.
+            let remaining = limit - executed;
+            let take = (safe.len() as u64).min(remaining) as usize;
+            let cap = (remaining / take as u64).clamp(1, RUN_AHEAD_CAP);
+            let steps: Vec<ShardStep> = safe[..take]
+                .iter()
+                .map(|&(at, bound)| ShardStep {
+                    cpu: cands[at].cpu,
+                    clock: cands[at].clock,
+                    bound: bound.min(outside).min(ceiling),
+                })
+                .collect();
+            executed +=
+                self.exec_local_round(&steps, cap, &plan, &shard_tracers, &shard_bufs, buffering);
+        }
+
+        // All halted or horizon reached: no future step can precede any
+        // pending key, so the tail of the run-ahead output is final. (A
+        // `limit` exit keeps it pending for the continuation call.)
+        if done {
+            self.flush_pending_below((u64::MAX, usize::MAX), &real);
+        }
+        // Restore the real tracer wiring (`set_tracer` re-fans the per-CPU
+        // clones) and rebuild the scheduling heap for the serial engine.
+        if buffering {
+            self.set_tracer(real);
+        }
+        self.ready.clear();
+        for i in 0..self.hot_clock.len() {
+            if self.hot_running[i] && self.programs[i].is_some() {
+                self.ready
+                    .push(Reverse(Self::pack_entry(self.hot_clock[i], i)));
+            }
+        }
+        executed
+    }
+
+    /// Releases pending run-ahead output whose `(clock, cpu)` key is
+    /// strictly below `key`: step-log entries move into the real log and
+    /// event blocks replay into the real tracer, in serial key order.
+    /// Callers pass the current frontier (no future step's key can be
+    /// smaller) or `(u64::MAX, usize::MAX)` to flush everything.
+    fn flush_pending_below(&mut self, key: (u64, usize), real: &Tracer) {
+        if !self.pending_log.is_empty() {
+            let n = self.pending_log.partition_point(|e| (e.clock, e.cpu) < key);
+            let released = self.pending_log.drain(..n);
+            if let Some(log) = self.step_log.as_mut() {
+                log.extend(released);
+            }
+        }
+        if !self.pending_blocks.is_empty() {
+            let n = self
+                .pending_blocks
+                .partition_point(|b| (b.0, b.1 as usize) < key);
+            for (_, _, events) in self.pending_blocks.drain(..n) {
+                replay_events(real, &events);
+            }
+        }
+    }
+
+    /// One serialized step under the coordinator. Every shard tracer's
+    /// clock is aligned first — a global step can emit against any node
+    /// (XIs, quiesce release) — and the step's buffered events are merged
+    /// by emission ticket and replayed immediately: rounds execute in
+    /// serial key order, so replay order is arrival order.
+    fn exec_global_round(
+        &mut self,
+        i: usize,
+        shard_tracers: &[Tracer],
+        shard_bufs: &[Arc<Mutex<EventBuffer>>],
+        sys_buf: Option<&Arc<Mutex<EventBuffer>>>,
+        real: &Tracer,
+    ) {
+        if let Some(sys) = sys_buf {
+            for t in shard_tracers {
+                t.set_clock(self.hot_clock[i]);
+            }
+            self.exec_step(i);
+            let mut events: Vec<SeqTracedEvent> = Vec::new();
+            for b in shard_bufs {
+                events.extend(b.lock().expect("event buffer poisoned").drain());
+            }
+            events.extend(sys.lock().expect("event buffer poisoned").drain());
+            events.sort_unstable_by_key(|e| e.seq);
+            replay_events(real, &events);
+        } else {
+            self.exec_step(i);
+        }
+    }
+
+    /// Executes one round's safe set, returning how many steps ran
+    /// (admitted steps plus in-shard run-ahead). The set arrives in serial
+    /// `(clock, cpu)` order; grouping by shard preserves each shard's
+    /// internal order, and admitted steps of different shards commute, so
+    /// running shards concurrently on host threads cannot change any
+    /// outcome. Inline execution and `thread::scope` drive the *same*
+    /// shard-step function — thread count selects a schedule, never a code
+    /// path. Step logs and event blocks are merged back in key order
+    /// (stable, so a chain's equal-key zero-cycle entries keep their
+    /// execution order), which *is* the round's serial execution order.
+    #[allow(clippy::too_many_arguments)]
+    fn exec_local_round(
+        &mut self,
+        steps: &[ShardStep],
+        cap: u64,
+        plan: &ShardPlan,
+        shard_tracers: &[Tracer],
+        shard_bufs: &[Arc<Mutex<EventBuffer>>],
+        buffering: bool,
+    ) -> u64 {
+        let shard_count = plan.shard_count();
+        let mut per_shard: Vec<Vec<ShardStep>> = vec![Vec::new(); shard_count];
+        for &s in steps {
+            per_shard[plan.shard_of(s.cpu)].push(s);
+        }
+        let involved = per_shard.iter().filter(|w| !w.is_empty()).count();
+        let want_log = self.step_log.is_some();
+        // Spawning scoped threads costs tens of microseconds per round;
+        // only rounds with enough work to amortize that go parallel —
+        // smaller ones run inline through the identical shard-step code,
+        // so the cutoff affects host speed only, never results.
+        let run_parallel =
+            involved >= 2 && self.sim_threads > 1 && steps.len() >= self.par_round_min;
+        let bases: Vec<usize> = (0..shard_count).map(|s| plan.range(s).start).collect();
+
+        let shared = SharedMem::new(&mut self.mem);
+        let node_chunks = split_mut(&mut self.nodes, plan.bounds());
+        let core_chunks = split_mut(&mut self.cores, plan.bounds());
+        let clock_chunks = split_mut(&mut self.hot_clock, plan.bounds());
+        let running_chunks = split_mut(&mut self.hot_running, plan.bounds());
+        let chunks: Vec<_> = node_chunks
+            .into_iter()
+            .zip(core_chunks)
+            .zip(clock_chunks)
+            .zip(running_chunks)
+            .map(|(((n, c), cl), r)| (n, c, cl, r))
+            .collect();
+        let pages = &self.pages;
+        let config = &self.config;
+        let programs = &self.programs[..];
+        let coalesce = self.coalesce;
+
+        let results: Vec<ShardRunResult> = if run_parallel {
+            std::thread::scope(|scope| {
+                let mut handles = Vec::with_capacity(involved);
+                for (s, chunk) in chunks.into_iter().enumerate() {
+                    let work = std::mem::take(&mut per_shard[s]);
+                    if work.is_empty() {
+                        continue;
+                    }
+                    let (nodes, cores, clocks, running) = chunk;
+                    let base = bases[s];
+                    let tracer = &shard_tracers[s];
+                    let buf = shard_bufs.get(s);
+                    handles.push(scope.spawn(move || {
+                        run_shard_steps(
+                            &work, cap, base, nodes, cores, clocks, running, shared, pages, config,
+                            programs, coalesce, tracer, buf, want_log,
+                        )
+                    }));
+                }
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("shard thread panicked"))
+                    .collect()
+            })
+        } else {
+            let mut out = Vec::with_capacity(involved);
+            for (s, chunk) in chunks.into_iter().enumerate() {
+                let work = &per_shard[s];
+                if work.is_empty() {
+                    continue;
+                }
+                let (nodes, cores, clocks, running) = chunk;
+                out.push(run_shard_steps(
+                    work,
+                    cap,
+                    bases[s],
+                    nodes,
+                    cores,
+                    clocks,
+                    running,
+                    shared,
+                    pages,
+                    config,
+                    programs,
+                    coalesce,
+                    &shard_tracers[s],
+                    shard_bufs.get(s),
+                    want_log,
+                ));
+            }
+            out
+        };
+
+        let mut total = 0u64;
+        let mut all_logs: Vec<StepLogEntry> = Vec::new();
+        let mut all_blocks: Vec<(u64, u16, Vec<SeqTracedEvent>)> = Vec::new();
+        for r in results {
+            total += r.executed;
+            all_logs.extend(r.log);
+            all_blocks.extend(r.blocks);
+        }
+        self.steps += total;
+        self.sharded_local_steps += total;
+        // Run-ahead output is not final until the key frontier passes it
+        // (a later round can execute smaller keys on other CPUs): merge the
+        // round into the pending buffers, kept key-sorted. Stable sorts:
+        // equal keys are one CPU's zero-cycle chain, already in execution
+        // order within its shard's contribution and across rounds.
+        if want_log {
+            self.pending_log.extend(all_logs);
+            self.pending_log.sort_by_key(|e| (e.clock, e.cpu));
+        }
+        if buffering {
+            self.pending_blocks.extend(all_blocks);
+            self.pending_blocks.sort_by_key(|b| (b.0, b.1));
+        }
+        total
+    }
+
     /// Runs until every CPU halts.
     ///
     /// # Panics
@@ -712,6 +1249,12 @@ impl System {
     /// Panics if more than `max_steps` instructions execute system-wide
     /// (guards against livelock in tests).
     pub fn run_until_halt(&mut self, max_steps: u64) {
+        if self.sharded_active() {
+            if self.run_sharded_upto(max_steps, None) >= max_steps {
+                panic!("system did not halt within {max_steps} steps");
+            }
+            return;
+        }
         for _ in 0..max_steps {
             if self.step_one().is_none() {
                 return;
@@ -724,6 +1267,9 @@ impl System {
     /// [`step_upto`](Self::step_upto)), returning how many executed —
     /// 0 means every CPU has halted.
     pub fn step_many(&mut self, limit: u64) -> u64 {
+        if self.sharded_active() {
+            return self.run_sharded_upto(limit, None);
+        }
         let before = self.steps;
         if self.step_upto(limit).is_none() {
             return 0;
@@ -733,6 +1279,10 @@ impl System {
 
     /// Runs until every running CPU's clock reaches `horizon` (or all halt).
     pub fn run_for_cycles(&mut self, horizon: u64) {
+        if self.sharded_active() {
+            self.run_sharded_upto(u64::MAX, Some(horizon));
+            return;
+        }
         loop {
             match self.peek_next_clock() {
                 Some(t) if t < horizon => {
@@ -797,19 +1347,546 @@ impl System {
     }
 }
 
+/// One admitted round entry: CPU `cpu`'s step at `clock`, plus the key
+/// `bound` below which the shard may keep running this CPU's own
+/// provably-local steps (run-ahead) before the coordinator re-plans.
+#[derive(Debug, Clone, Copy)]
+struct ShardStep {
+    cpu: usize,
+    clock: u64,
+    bound: (u64, usize),
+}
+
+/// Per-chain run-ahead ceiling: bounds a lone unconstrained CPU's chain so
+/// event replay and halt/limit checks still happen at a reasonable cadence.
+const RUN_AHEAD_CAP: u64 = 64;
+
+/// What one shard's slice of a round reports back to the coordinator.
+struct ShardRunResult {
+    executed: u64,
+    log: Vec<StepLogEntry>,
+    /// One `(clock, cpu, events)` block per step that emitted anything —
+    /// the coordinator merges blocks of all shards by `(clock, cpu)`, the
+    /// round's serial execution order.
+    blocks: Vec<(u64, u16, Vec<SeqTracedEvent>)>,
+}
+
+/// Executes one shard's slice of a round: provably node-local steps over
+/// the shard's own nodes and cores plus the shared committed-memory window.
+/// After each admitted step the shard re-classifies the *same CPU's* next
+/// step — classification reads only the CPU's own node plus read-only
+/// shared structures, all of which the shard holds — and chains it into
+/// the round while it stays local, its key stays strictly below the round
+/// bound, and the chain stays within `cap` steps. Runs either inline on
+/// the coordinator or on a scoped host thread — same code, same results.
+#[allow(clippy::too_many_arguments)]
+fn run_shard_steps(
+    work: &[ShardStep],
+    cap: u64,
+    base: usize,
+    nodes: &mut [Node],
+    cores: &mut [CpuCore],
+    hot_clock: &mut [u64],
+    hot_running: &mut [bool],
+    shared: SharedMem,
+    pages: &PageTable,
+    config: &SystemConfig,
+    programs: &[Option<Arc<Program>>],
+    coalesce: bool,
+    tracer: &Tracer,
+    buf: Option<&Arc<Mutex<EventBuffer>>>,
+    want_log: bool,
+) -> ShardRunResult {
+    let mut res = ShardRunResult {
+        executed: 0,
+        log: Vec::new(),
+        blocks: Vec::new(),
+    };
+    for &ShardStep { cpu, clock, bound } in work {
+        let at = cpu - base;
+        debug_assert_eq!(hot_clock[at], clock, "stale round plan");
+        let prog = programs[cpu].as_ref().expect("program loaded");
+        let mut clock = clock;
+        let mut budget = cap;
+        loop {
+            tracer.set_clock(clock);
+            let mut view = View {
+                cpu,
+                base,
+                now: clock,
+                tracer,
+                nodes: &mut *nodes,
+                fabric: None,
+                mem: MemPort::Shared(shared),
+                pages: PagePort::Check(pages),
+                fabric_busy: None,
+                config,
+                coalesce,
+                hit_slot: None,
+            };
+            let out = ztm_isa::step(&mut cores[at], prog, &mut view);
+            debug_assert!(
+                !out.broadcast_stop && out.event != StepEvent::Stalled,
+                "a shard-local step can neither stall nor quiesce"
+            );
+            hot_clock[at] = cores[at].clock;
+            hot_running[at] = cores[at].is_running();
+            res.executed += 1;
+            if want_log {
+                res.log.push(StepLogEntry {
+                    clock,
+                    cpu,
+                    event: out.event,
+                    cycles: out.cycles,
+                });
+            }
+            if let Some(b) = buf {
+                let events = b.lock().expect("event buffer poisoned").drain();
+                if !events.is_empty() {
+                    res.blocks.push((clock, cpu as u16, events));
+                }
+            }
+            budget -= 1;
+            let next_clock = cores[at].clock;
+            if budget == 0 || !hot_running[at] || (next_clock, cpu) >= bound {
+                break;
+            }
+            // Run ahead: chain this CPU's own next step into the round if
+            // it provably stays node-local.
+            let c = classify_step_at(
+                cpu,
+                next_clock,
+                &nodes[at],
+                &cores[at],
+                prog,
+                pages,
+                SlotView::Shared(shared),
+                config,
+                coalesce,
+            );
+            if c.global {
+                break;
+            }
+            clock = next_clock;
+        }
+    }
+    res
+}
+
+/// Read-only committed-arena slot lookup for the classifier: the
+/// coordinator classifies against exclusive memory, a run-ahead shard
+/// against its shared window — same answers either way.
+#[derive(Clone, Copy)]
+enum SlotView<'a> {
+    Main(&'a MainMemory),
+    Shared(SharedMem),
+}
+
+impl SlotView<'_> {
+    fn has_slot(&self, line: LineAddr) -> bool {
+        match self {
+            SlotView::Main(m) => m.line_slot(line).is_some(),
+            SlotView::Shared(s) => s.line_slot(line).is_some(),
+        }
+    }
+}
+
+/// Classifies one CPU's next instruction step without executing it.
+///
+/// A step is *local* when it provably touches only the CPU's own node
+/// (core, private caches, engine, RNG stream) plus committed-arena
+/// bytes of lines its cache already holds with sufficient MESI
+/// permission — no fabric traffic, no XIs, no page-table mutation, no
+/// abort processing, no arena allocation. Everything else is *global*
+/// and executes serially under the coordinator.
+///
+/// Every input is either the CPU's own node state or a structure no
+/// shard-local step mutates (the page table, the arena slot index, the
+/// config), so shards can re-classify their own CPUs mid-round for
+/// run-ahead and reach the same verdicts the coordinator would.
+///
+/// Conservative by design: classifying local as global only costs
+/// parallelism, never correctness, and the shared-mode ports panic on
+/// any admitted step that actually reaches a serialized resource.
+#[allow(clippy::too_many_arguments)]
+fn classify_step_at(
+    cpu: usize,
+    clock: u64,
+    node: &Node,
+    core: &CpuCore,
+    prog: &Program,
+    pages: &PageTable,
+    slots: SlotView<'_>,
+    config: &SystemConfig,
+    coalesce: bool,
+) -> Candidate {
+    let global = Candidate {
+        cpu,
+        clock,
+        global: true,
+        zero: false,
+    };
+    let local = |zero: bool| Candidate {
+        cpu,
+        clock,
+        global: false,
+        zero,
+    };
+    // Anything that can interrupt, abort, or fire PER events must be
+    // serialized: a due timer tick raises an async interruption, a
+    // pending abort runs millicode abort processing (TDB stores,
+    // possible broadcast-stop), PER tracing fires on every predicate,
+    // and an armed transaction-diagnostic control can force aborts
+    // from `check_instruction`.
+    if let Some(t) = config.timer_interval {
+        if clock - node.last_timer >= t {
+            return global;
+        }
+    }
+    if node.engine.pending_abort().is_some() || core.per.enabled || node.engine.tdc_active() {
+        return global;
+    }
+    let in_tx = node.engine.in_tx();
+    // Constrained transactions track their footprint against the §II.D
+    // constraints and can raise violations mid-step.
+    if in_tx && node.engine.constrained() {
+        return global;
+    }
+    let d = prog.decoded(core.pc);
+    // The instruction fetch: the i-cache walk is entirely node-local
+    // (instruction lines sit outside the coherence protocol), so only
+    // a non-resident text page — an OS page-in — can leave the node.
+    if pages.check(Address::new(d.addr)).is_err() {
+        return global;
+    }
+    // Transactionally illegal instruction classes abort in
+    // `check_instruction`.
+    if in_tx
+        && matches!(
+            d.class,
+            InstrClass::RestrictedInTx | InstrClass::ArModifying | InstrClass::FprModifying
+        )
+    {
+        return global;
+    }
+    let data = |want_excl: bool, class: AccessClass| {
+        classify_data_at(
+            cpu, clock, node, core, d, want_excl, class, pages, slots, config, coalesce,
+        )
+    };
+    match d.op {
+        // Pure register, branch, and timing ops never leave the core.
+        Op::Lghi
+        | Op::Lgr
+        | Op::La
+        | Op::Agr
+        | Op::Sgr
+        | Op::Aghi
+        | Op::Ngr
+        | Op::Xgr
+        | Op::Msgr
+        | Op::Sllg
+        | Op::Srlg
+        | Op::Ltgr
+        | Op::Cgr
+        | Op::Cghi
+        | Op::Brc
+        | Op::Cgij
+        | Op::Brctg
+        | Op::Br
+        | Op::Etnd
+        | Op::Ppa
+        | Op::Rdclk
+        | Op::Sar
+        | Op::Ear
+        | Op::Adbr
+        | Op::Decimal
+        | Op::Privileged
+        | Op::Nop
+        | Op::Delay
+        | Op::Halt => local(false),
+        // Zero-cycle retires: the CPU's *next* step shares this clock,
+        // which tightens the safe-set bound (see `Candidate`).
+        Op::RandMod | Op::StmNote => local(true),
+        // Division by zero raises a program exception.
+        Op::Dsgr => {
+            if core.grs[d.r2 as usize] == 0 {
+                global
+            } else {
+                local(false)
+            }
+        }
+        Op::Lg => data(d.flags & FLAG_FOR_UPDATE != 0, AccessClass::Fetch),
+        Op::Ltg | Op::Cg => data(false, AccessClass::Fetch),
+        Op::Stg | Op::Stckf => data(true, AccessClass::Store),
+        Op::Ntstg => {
+            // Misalignment is a specification exception.
+            if !effective_address_decoded(core, d).is_aligned(8) {
+                return global;
+            }
+            data(true, AccessClass::Store)
+        }
+        Op::Csg => data(true, AccessClass::Store),
+        // An outermost TBEGIN cannot fail here (constrained mode and
+        // the diagnostic control are pre-checked above, and its RNG
+        // draw comes from the node's own stream); a nested begin can
+        // overflow the depth limit and abort.
+        Op::Tbegin => {
+            if in_tx {
+                global
+            } else {
+                local(false)
+            }
+        }
+        Op::Tbeginc => global,
+        Op::Tend => classify_tend_at(cpu, clock, node, slots),
+        Op::Tabort => global,
+    }
+}
+
+/// Classifies the single data access of a load/store-class instruction:
+/// local iff the line window would serve it or the full directory walk
+/// provably ends in an L1/L2 hit with sufficient ownership (an L2 hit
+/// only re-installs into the L1 — nothing leaves the node), the page
+/// is resident, any speculative-prefetch dice roll provably misses,
+/// and a write-through store has a committed-arena slot to land in.
+#[allow(clippy::too_many_arguments)]
+fn classify_data_at(
+    cpu: usize,
+    clock: u64,
+    node: &Node,
+    core: &CpuCore,
+    d: &DecodedInstr,
+    want_excl: bool,
+    class: AccessClass,
+    pages: &PageTable,
+    slots: SlotView<'_>,
+    config: &SystemConfig,
+    coalesce: bool,
+) -> Candidate {
+    let global = Candidate {
+        cpu,
+        clock,
+        global: true,
+        zero: false,
+    };
+    let excl = class == AccessClass::Store || want_excl;
+    let ea = effective_address_decoded(core, d);
+    // Line-crossing accesses raise a specification exception.
+    if !ea.fits_in_line(8) {
+        return global;
+    }
+    let line = ea.line();
+    let in_tx = node.engine.in_tx();
+    // Mirror of the `View::prepare` fast path.
+    let window_ok = coalesce
+        && node.last_data.is_some_and(|w| {
+            w.line == line
+                && (w.excl || !excl)
+                && w.gen == node.cache.generation()
+                && w.page_epoch == pages.epoch()
+                && (!in_tx
+                    || node
+                        .cache
+                        .l1_tx_marks(line)
+                        .is_some_and(|(read, dirty)| match class {
+                            AccessClass::Fetch => read,
+                            AccessClass::Store => dirty,
+                        }))
+        });
+    if !window_ok {
+        if pages.check(ea).is_err() {
+            return global; // page fault → OS page-in
+        }
+        if node.cache.probe_local(line, excl).is_none() {
+            return global; // L2 miss or ownership upgrade → fabric fetch
+        }
+    }
+    // A transactional fetch rolls the speculative-prefetch dice; a
+    // firing prefetch reaches the fabric. Peek the roll on a clone of
+    // the node's RNG — the real step replays the identical draw from
+    // the identical stream state, so a miss here is a miss there.
+    if class == AccessClass::Fetch
+        && in_tx
+        && config.speculative_prefetch
+        && config.prefetch_probability > 0.0
+        && !node.engine.speculation_disabled()
+    {
+        let mut dice = node.rng.clone();
+        if dice.gen_bool(config.prefetch_probability) {
+            return global;
+        }
+    }
+    // Non-transactional stores write through to committed memory,
+    // which the shared window can only do into an existing arena slot
+    // (allocating would race the shared index).
+    if class == AccessClass::Store && !in_tx && !slots.has_slot(line) {
+        return global;
+    }
+    Candidate {
+        cpu,
+        clock,
+        global: false,
+        zero: false,
+    }
+}
+
+/// Classifies TEND: engine-only unless it commits the outermost level,
+/// in which case the store-cache drain needs a committed-arena slot for
+/// every transactional store line. (The PER TEND event and the
+/// diagnostic-control forcing are already pre-checked by the caller.)
+fn classify_tend_at(cpu: usize, clock: u64, node: &Node, slots: SlotView<'_>) -> Candidate {
+    let slots_ok = node.engine.depth() != 1
+        || node
+            .cache
+            .store_cache()
+            .tx_lines()
+            .into_iter()
+            .all(|line| slots.has_slot(line));
+    Candidate {
+        cpu,
+        clock,
+        global: !slots_ok,
+        zero: false,
+    }
+}
+
+/// Replays buffered events into the real tracer, restoring each event's
+/// emission clock and CPU attribution.
+fn replay_events(real: &Tracer, events: &[SeqTracedEvent]) {
+    for e in events {
+        real.set_clock(e.clock);
+        real.emit_at(e.cpu, || e.event);
+    }
+}
+
+/// The committed-memory port of a [`View`]: exclusive access for the serial
+/// scheduler and the sharded coordinator's global steps, or a [`SharedMem`]
+/// window for shard-local steps (which may only touch preallocated arena
+/// slots of MESI-exclusive lines — the classifier guarantees it).
+enum MemPort<'a> {
+    Excl(&'a mut MainMemory),
+    Shared(SharedMem),
+}
+
+/// Message for every "a shard-local step needed a global resource" panic:
+/// such a step should never have been admitted into a parallel round.
+const CLASSIFIER_BUG: &str = "shard-local step reached a serialized resource (classifier bug)";
+
+impl MemPort<'_> {
+    fn line_slot(&self, line: LineAddr) -> Option<u32> {
+        match self {
+            MemPort::Excl(m) => m.line_slot(line),
+            MemPort::Shared(s) => s.line_slot(line),
+        }
+    }
+
+    fn load_u64(&self, addr: Address) -> u64 {
+        match self {
+            MemPort::Excl(m) => m.load_u64(addr),
+            MemPort::Shared(s) => s.load_u64(addr),
+        }
+    }
+
+    fn load_u64_at_slot(&self, slot: u32, offset: usize) -> u64 {
+        match self {
+            MemPort::Excl(m) => m.load_u64_at_slot(slot, offset),
+            MemPort::Shared(s) => s.load_u64_at_slot(slot, offset),
+        }
+    }
+
+    fn load_bytes(&self, addr: Address, buf: &mut [u8]) {
+        match self {
+            MemPort::Excl(m) => m.load_bytes(addr, buf),
+            MemPort::Shared(s) => s.load_bytes(addr, buf),
+        }
+    }
+
+    fn store_bytes(&mut self, addr: Address, bytes: &[u8]) {
+        match self {
+            MemPort::Excl(m) => m.store_bytes(addr, bytes),
+            MemPort::Shared(s) => s.store_bytes(addr, bytes),
+        }
+    }
+
+    fn apply_write(&mut self, w: &ztm_cache::DrainWrite) {
+        match self {
+            MemPort::Excl(m) => w.apply_to(m),
+            MemPort::Shared(s) => w.apply_to_shared(s),
+        }
+    }
+
+    /// The exclusive memory, for paths only a serialized step can reach
+    /// (abort cleanup, TDB/diagnostic stores).
+    fn excl(&mut self) -> &mut MainMemory {
+        match self {
+            MemPort::Excl(m) => m,
+            MemPort::Shared(_) => panic!("{CLASSIFIER_BUG}"),
+        }
+    }
+}
+
+/// The page-table port: direct mutable access for serialized steps, or a
+/// check-only shared view for shard-local steps (whose accesses the
+/// classifier has already proven resident — `access` on a resident page is
+/// side-effect-free, so the check-only port is exact).
+enum PagePort<'a> {
+    Direct(&'a mut PageTable),
+    Check(&'a PageTable),
+}
+
+impl PagePort<'_> {
+    fn epoch(&self) -> u64 {
+        match self {
+            PagePort::Direct(p) => p.epoch(),
+            PagePort::Check(p) => p.epoch(),
+        }
+    }
+
+    fn access(&mut self, addr: Address) -> Result<(), ztm_mem::MemFault> {
+        match self {
+            PagePort::Direct(p) => p.access(addr),
+            // `PageTable::access` only differs from `check` on a fault
+            // (it counts the fault); a shard-local step's accesses are
+            // pre-proven resident, so a fault here is a classifier bug —
+            // surfaced by the caller turning it into a page-in, which
+            // panics through `direct()`.
+            PagePort::Check(p) => p.check(addr),
+        }
+    }
+
+    /// The mutable page table, for paths only a serialized step can reach
+    /// (OS page-in, abort cleanup).
+    fn direct(&mut self) -> &mut PageTable {
+        match self {
+            PagePort::Direct(p) => p,
+            PagePort::Check(_) => panic!("{CLASSIFIER_BUG}"),
+        }
+    }
+}
+
 /// The per-step [`Machine`] view: disjoint borrows of the system's fields
 /// excluding the stepped CPU's core (borrowed by the interpreter).
+///
+/// Serialized steps (the serial scheduler, the sharded coordinator's global
+/// steps) build it with exclusive ports over the whole system and
+/// `base == 0`. Shard-local steps build it over the shard's own node slice
+/// (`base` = first CPU of the shard), a [`SharedMem`] window, a check-only
+/// page table, and *no* fabric — touching a serialized resource from a
+/// parallel round is a classifier bug and panics.
 struct View<'a> {
     cpu: usize,
+    /// First CPU index of the node slice below (0 for serialized steps).
+    base: usize,
     /// The stepped CPU's local clock at instruction start (for fabric
     /// bandwidth queueing).
     now: u64,
     tracer: &'a Tracer,
     nodes: &'a mut [Node],
-    fabric: &'a mut Fabric,
-    mem: &'a mut MainMemory,
-    pages: &'a mut PageTable,
-    fabric_busy: &'a mut [u64],
+    fabric: Option<&'a mut Fabric>,
+    mem: MemPort<'a>,
+    pages: PagePort<'a>,
+    fabric_busy: Option<&'a mut [u64]>,
     config: &'a SystemConfig,
     /// Same-line coalescing switch ([`System::set_coalescing`]).
     coalesce: bool,
@@ -822,7 +1899,15 @@ struct View<'a> {
 
 impl View<'_> {
     fn me(&mut self) -> &mut Node {
-        &mut self.nodes[self.cpu]
+        &mut self.nodes[self.cpu - self.base]
+    }
+
+    fn node(&self) -> &Node {
+        &self.nodes[self.cpu - self.base]
+    }
+
+    fn fabric(&mut self) -> &mut Fabric {
+        self.fabric.as_mut().expect(CLASSIFIER_BUG)
     }
 
     /// Delivers the LRU XIs produced by an L3 associativity overflow: the
@@ -840,7 +1925,7 @@ impl View<'_> {
                 XiResponse::Accept,
                 "LRU XIs are not rejectable"
             );
-            self.fabric.apply_xi_result(cpu, vline, XiKind::Lru, true);
+            self.fabric().apply_xi_result(cpu, vline, XiKind::Lru, true);
             for ev in out.events {
                 self.nodes[cpu.0].engine.note_footprint_event(ev);
             }
@@ -860,7 +1945,8 @@ impl View<'_> {
                 from: Some(CpuId(self.cpu)),
             });
             let accepted = out.response == XiResponse::Accept;
-            self.fabric.apply_xi_result(target, line, xikind, accepted);
+            self.fabric()
+                .apply_xi_result(target, line, xikind, accepted);
             for ev in out.events {
                 self.nodes[target.0].engine.note_footprint_event(ev);
             }
@@ -874,14 +1960,15 @@ impl View<'_> {
     /// Reserves a slot on this CPU's MCM fabric channel for one line
     /// transfer and returns the queueing delay incurred.
     fn occupy_fabric(&mut self) -> u64 {
-        let mcm = self
-            .fabric
+        let fabric = self.fabric.as_deref().expect(CLASSIFIER_BUG);
+        let busy = self.fabric_busy.as_deref_mut().expect(CLASSIFIER_BUG);
+        let mcm = fabric
             .topology()
             .mcm_of(CpuId(self.cpu))
             .0
-            .min(self.fabric_busy.len() - 1);
-        let start = self.now.max(self.fabric_busy[mcm]);
-        self.fabric_busy[mcm] = start + self.config.fabric_occupancy;
+            .min(busy.len() - 1);
+        let start = self.now.max(busy[mcm]);
+        busy[mcm] = start + self.config.fabric_occupancy;
         let queued = start - self.now;
         self.tracer
             .emit_at(self.cpu as u16, || Event::FabricOccupy { queued });
@@ -902,28 +1989,31 @@ impl View<'_> {
         } else {
             FetchKind::Shared
         };
-        let plan = self.fabric.plan_fetch(CpuId(self.cpu), line, kind);
+        let who = CpuId(self.cpu);
+        let plan = self.fabric().plan_fetch(who, line, kind);
         if !self.deliver_plan_xis(line, plan.xis) {
             return Err(self.config.latency.xi_reject_retry);
         }
-        let lru = self.fabric.grant(CpuId(self.cpu), line, kind);
+        let lru = self.fabric().grant(who, line, kind);
         self.deliver_lru_xis(lru);
-        let base = self
-            .config
-            .latency
-            .fetch(self.fabric.topology(), CpuId(self.cpu), plan.source);
+        let base = {
+            let fabric = self.fabric.as_deref().expect(CLASSIFIER_BUG);
+            self.config
+                .latency
+                .fetch(fabric.topology(), who, plan.source)
+        };
         let cycles = base + self.occupy_fabric();
         let state = if excl {
             CohState::Exclusive
         } else {
             CohState::ReadOnly
         };
-        let inst = self.nodes[self.cpu].cache.install(line, state, class, tx);
+        let inst = self.me().cache.install(line, state, class, tx);
         for l in inst.lost_lines {
-            self.fabric.drop_holder(CpuId(self.cpu), l);
+            self.fabric().drop_holder(who, l);
         }
         for ev in inst.events {
-            self.nodes[self.cpu].engine.note_footprint_event(ev);
+            self.me().engine.note_footprint_event(ev);
         }
         Ok(cycles)
     }
@@ -933,33 +2023,30 @@ impl View<'_> {
     /// (§III.C). Abandoned silently when anybody stiff-arms.
     fn speculative_prefetch(&mut self, line: LineAddr) {
         let next = LineAddr::new(line.index() + 1);
-        if self.nodes[self.cpu].cache.state_of(next).is_some() {
+        if self.node().cache.state_of(next).is_some() {
             return;
         }
         let overmark = {
             let p = self.config.overmark_probability;
-            self.nodes[self.cpu].rng.gen_bool(p)
+            self.me().rng.gen_bool(p)
         };
-        let plan = self
-            .fabric
-            .plan_fetch(CpuId(self.cpu), next, FetchKind::Shared);
+        let who = CpuId(self.cpu);
+        let plan = self.fabric().plan_fetch(who, next, FetchKind::Shared);
         if !self.deliver_plan_xis(next, plan.xis) {
             return;
         }
-        let lru = self.fabric.grant(CpuId(self.cpu), next, FetchKind::Shared);
+        let lru = self.fabric().grant(who, next, FetchKind::Shared);
         self.deliver_lru_xis(lru);
         self.occupy_fabric(); // speculative transfers consume bandwidth too
-        let inst = self.nodes[self.cpu].cache.install(
-            next,
-            CohState::ReadOnly,
-            AccessClass::Fetch,
-            overmark,
-        );
+        let inst = self
+            .me()
+            .cache
+            .install(next, CohState::ReadOnly, AccessClass::Fetch, overmark);
         for l in inst.lost_lines {
-            self.fabric.drop_holder(CpuId(self.cpu), l);
+            self.fabric().drop_holder(who, l);
         }
         for ev in inst.events {
-            self.nodes[self.cpu].engine.note_footprint_event(ev);
+            self.me().engine.note_footprint_event(ev);
         }
     }
 
@@ -1007,8 +2094,9 @@ impl View<'_> {
         // per-step. A window can only exist while coalescing is enabled
         // (arming is gated and `set_coalescing(false)` clears them), so the
         // window presence check doubles as the switch check.
-        if let Some(w) = self.nodes[self.cpu].last_data {
-            let node = &mut self.nodes[self.cpu];
+        let at = self.cpu - self.base;
+        if let Some(w) = self.nodes[at].last_data {
+            let node = &mut self.nodes[at];
             let tx = node.engine.in_tx();
             let valid = w.line == line
                 && (w.excl || !excl)
@@ -1029,7 +2117,7 @@ impl View<'_> {
                     Some(resolved) => resolved,
                     None => {
                         let resolved = self.mem.line_slot(line);
-                        if let Some(win) = self.nodes[self.cpu].last_data.as_mut() {
+                        if let Some(win) = self.nodes[at].last_data.as_mut() {
                             win.slot = Some(resolved);
                         }
                         resolved
@@ -1054,10 +2142,10 @@ impl View<'_> {
                         && self.config.speculative_prefetch
                         && prefetch_p > 0.0
                         && !self.me().engine.speculation_disabled()
-                        && self.nodes[self.cpu].rng.gen_bool(prefetch_p)
+                        && self.me().rng.gen_bool(prefetch_p)
                     {
                         self.speculative_prefetch(line);
-                        self.nodes[self.cpu].last_data = None;
+                        self.me().last_data = None;
                     }
                 }
                 return Ok(self.config.latency.l1_hit);
@@ -1083,11 +2171,15 @@ impl View<'_> {
                 self.config.latency.l1_hit
             }
             LocalHit::L2 => {
+                // An L2 hit re-installs into the L1 only, which drops no L2
+                // lines — `lost_lines` is empty here (the fabric unwrap is
+                // the backstop proving it, shard-local steps included).
+                let who = CpuId(self.cpu);
                 for l in out.lost_lines {
-                    self.fabric.drop_holder(CpuId(self.cpu), l);
+                    self.fabric().drop_holder(who, l);
                 }
                 for ev in out.events {
-                    self.nodes[self.cpu].engine.note_footprint_event(ev);
+                    self.me().engine.note_footprint_event(ev);
                 }
                 self.config.latency.l2_hit
             }
@@ -1102,7 +2194,7 @@ impl View<'_> {
             && self.config.speculative_prefetch
             && prefetch_p > 0.0
             && !self.me().engine.speculation_disabled()
-            && self.nodes[self.cpu].rng.gen_bool(prefetch_p)
+            && self.me().rng.gen_bool(prefetch_p)
         {
             self.speculative_prefetch(line);
         }
@@ -1116,18 +2208,18 @@ impl View<'_> {
         // stamps the full walk applies. Transactional boundaries need no
         // disarm of their own: TBEGIN/TEND bump the cache generation, which
         // already invalidates any window armed across them.
-        self.nodes[self.cpu].last_data =
-            if self.coalesce && self.nodes[self.cpu].cache.line_is_hot(line) {
-                Some(LineWindow {
-                    line,
-                    excl,
-                    gen: self.nodes[self.cpu].cache.generation(),
-                    page_epoch: self.pages.epoch(),
-                    slot: None,
-                })
-            } else {
-                None
-            };
+        let window = if self.coalesce && self.node().cache.line_is_hot(line) {
+            Some(LineWindow {
+                line,
+                excl,
+                gen: self.node().cache.generation(),
+                page_epoch: self.pages.epoch(),
+                slot: None,
+            })
+        } else {
+            None
+        };
+        self.me().last_data = window;
         Ok(cycles)
     }
 
@@ -1135,7 +2227,7 @@ impl View<'_> {
         // Common shape: a full-width load with no buffered stores to overlay
         // (spinners and read-mostly code never populate the store cache).
         // One fixed-size memory read, no forwarding scan, no byte loop.
-        if len == 8 && self.nodes[self.cpu].cache.store_cache().is_empty() {
+        if len == 8 && self.node().cache.store_cache().is_empty() {
             // The window (or its arming walk) already resolved the line's
             // committed-arena slot; slots never move, so the value is one
             // array read away — no memory index probe.
@@ -1148,9 +2240,7 @@ impl View<'_> {
         }
         let mut buf = [0u8; 8];
         self.mem.load_bytes(addr, &mut buf[..len as usize]);
-        self.nodes[self.cpu]
-            .cache
-            .forward(addr, &mut buf[..len as usize]);
+        self.node().cache.forward(addr, &mut buf[..len as usize]);
         let mut v = 0u64;
         for b in &buf[..len as usize] {
             v = v << 8 | *b as u64;
@@ -1195,7 +2285,7 @@ impl Machine for View<'_> {
     fn ifetch(&mut self, addr: Address) -> AccessResult {
         let line = addr.line();
         let page_epoch = self.pages.epoch();
-        let node = &mut self.nodes[self.cpu];
+        let node = &mut self.nodes[self.cpu - self.base];
         // Same-line fast path: straight-line code fetches the same 256-byte
         // text line many instructions in a row. If nothing installed into
         // this i-cache and no page residency changed since the previous
@@ -1327,7 +2417,7 @@ impl Machine for View<'_> {
             TendOutcome::Commit { cycles } => {
                 let writes = node.cache.commit_tx();
                 for w in writes {
-                    w.apply_to(self.mem);
+                    self.mem.apply_write(&w);
                 }
                 EndResult::Commit { cycles }
             }
@@ -1341,11 +2431,11 @@ impl Machine for View<'_> {
     }
 
     fn tx_depth(&self) -> u64 {
-        self.nodes[self.cpu].engine.depth() as u64
+        self.node().engine.depth() as u64
     }
 
     fn in_tx(&self) -> bool {
-        self.nodes[self.cpu].engine.in_tx()
+        self.node().engine.in_tx()
     }
 
     fn check_instruction(&mut self, class: ztm_core::InstrClass, ia: u64, len: u64) {
@@ -1365,21 +2455,32 @@ impl Machine for View<'_> {
     }
 
     fn pending_abort(&self) -> bool {
-        self.nodes[self.cpu].engine.pending_abort().is_some()
+        self.node().engine.pending_abort().is_some()
     }
 
     fn take_abort(&mut self, grs: &[u64; 16], atia: u64) -> AbortApply {
-        let cause = self.nodes[self.cpu]
+        let cause = self
+            .node()
             .engine
             .pending_abort()
             .expect("take_abort without pending abort");
-        let ntstg_writes = self.nodes[self.cpu].cache.abort_tx();
+        let ntstg_writes = self.me().cache.abort_tx();
         for w in ntstg_writes {
-            w.apply_to(self.mem);
+            self.mem.apply_write(&w);
         }
-        let node = &mut self.nodes[self.cpu];
+        // Aborts store the TDB and may page — serialized-only resources;
+        // the classifier never admits a step that can abort into a
+        // parallel round.
+        let node = &mut self.nodes[self.cpu - self.base];
         let out = node.engine.process_abort(cause, grs, atia, &mut node.rng);
-        finish_abort(out, self.mem, self.pages, &self.config.os, node.prefix_area)
+        let prefix_area = node.prefix_area;
+        finish_abort(
+            out,
+            self.mem.excl(),
+            self.pages.direct(),
+            &self.config.os,
+            prefix_area,
+        )
     }
 
     fn report_exception(
@@ -1395,7 +2496,7 @@ impl Machine for View<'_> {
         }
         match self.config.os.disposition(pe) {
             ztm_isa::OsDisposition::PageIn(page) => {
-                self.pages.page_in(page);
+                self.pages.direct().page_in(page);
                 ExceptionDisposition::Retry {
                     cycles: self.config.os.page_in_cost,
                 }
@@ -1416,7 +2517,7 @@ impl Machine for View<'_> {
     fn stm_note(&mut self, kind: u8, value: u64) {
         use ztm_isa::stm_note as k;
         let cpu = self.cpu as u16;
-        let node = &mut self.nodes[self.cpu];
+        let node = &mut self.nodes[self.cpu - self.base];
         let ev = match kind {
             k::BEGIN => {
                 node.stm.begins += 1;
@@ -1837,7 +2938,7 @@ mod tests {
         sys.load_program_all(&prog);
         sys.run_until_halt(3_000_000);
 
-        let rec = recorder.borrow();
+        let rec = recorder.lock().unwrap();
         assert_eq!(rec.dropped(), 0, "ring must be large enough for the run");
         let m = rec.metrics();
         let report = sys.report();

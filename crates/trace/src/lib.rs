@@ -22,10 +22,10 @@
 //!   tx-dirty lines are never observed by another CPU pre-commit, inclusive
 //!   hierarchy containment, and constrained-retry ladder monotonicity.
 
-use std::cell::{Cell, RefCell};
 use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// XI kind codes mirrored from `ztm_cache::XiKind` (which cannot be imported
 /// here without inverting the dependency direction).
@@ -633,57 +633,66 @@ pub trait TraceSink {
 #[derive(Clone, Default)]
 pub struct Tracer {
     sink: Option<Sink>,
-    clock: Rc<Cell<u64>>,
+    clock: Arc<AtomicU64>,
     cpu: u16,
 }
 
 /// The attached consumer: either a shared dynamic [`TraceSink`] (recorder,
-/// test sinks) or the allocation-free digest-only fold. Dispatching on the
-/// variant in [`Tracer::emit`] keeps the digest-only path free of the
-/// `RefCell` borrow and virtual call the general sink needs.
+/// per-shard event buffers, test sinks) or the allocation-free digest-only
+/// fold. Dispatching on the variant in [`Tracer::emit`] keeps the
+/// digest-only path free of the lock and virtual call the general sink
+/// needs.
 #[derive(Clone)]
 enum Sink {
-    Shared(Rc<RefCell<dyn TraceSink>>),
-    Digest(Rc<DigestSink>),
+    Shared(Arc<Mutex<dyn TraceSink + Send>>),
+    Digest(Arc<DigestSink>),
 }
 
 /// A digest-only sink: folds every stamped event straight into a streaming
-/// FNV-1a state held in `Cell`s — no `RefCell` borrow, no ring buffering, no
-/// event materialization. The digest is bit-identical to what a [`Recorder`]
-/// fed the same stream reports (both fold through the same byte stream);
+/// FNV-1a state — no lock, no ring buffering, no event materialization. The
+/// digest is bit-identical to what a [`Recorder`] fed the same stream
+/// reports (both fold through the same byte stream);
 /// [`events`](DigestSink::events) counts how many events were digested.
+///
+/// The state lives in relaxed atomics only so the handle is `Sync`; the
+/// simulator feeds any single sink from one thread at a time (sharded runs
+/// buffer per shard and replay through the sink on the coordinator), so the
+/// non-atomic read-modify-write of `fold` never races.
 #[derive(Debug)]
 pub struct DigestSink {
-    state: Cell<u64>,
-    events: Cell<u64>,
+    state: AtomicU64,
+    events: AtomicU64,
 }
 
 impl DigestSink {
     /// An empty sink (digest of the empty stream).
     pub fn new() -> DigestSink {
         DigestSink {
-            state: Cell::new(FNV_OFFSET),
-            events: Cell::new(0),
+            state: AtomicU64::new(FNV_OFFSET),
+            events: AtomicU64::new(0),
         }
     }
 
     /// Folds one stamped event. Shared-reference so it is callable through
-    /// the `Rc` the [`Tracer`] clones hold.
+    /// the `Arc` the [`Tracer`] clones hold.
     #[inline]
     pub fn fold(&self, clock: u64, cpu: u16, event: &Event) {
-        self.state
-            .set(fold_digest(self.state.get(), clock, cpu, event));
-        self.events.set(self.events.get() + 1);
+        self.state.store(
+            fold_digest(self.state.load(Ordering::Relaxed), clock, cpu, event),
+            Ordering::Relaxed,
+        );
+        self.events
+            .store(self.events.load(Ordering::Relaxed) + 1, Ordering::Relaxed);
     }
 
     /// The running digest over everything folded so far.
     pub fn digest(&self) -> u64 {
-        self.state.get()
+        self.state.load(Ordering::Relaxed)
     }
 
     /// How many events have been folded.
     pub fn events(&self) -> u64 {
-        self.events.get()
+        self.events.load(Ordering::Relaxed)
     }
 }
 
@@ -709,13 +718,13 @@ impl Tracer {
     }
 
     /// A tracer feeding a fresh bounded [`Recorder`]; returns both.
-    pub fn recording(capacity: usize) -> (Tracer, Rc<RefCell<Recorder>>) {
-        let recorder = Rc::new(RefCell::new(Recorder::new(capacity)));
-        let sink: Rc<RefCell<dyn TraceSink>> = recorder.clone();
+    pub fn recording(capacity: usize) -> (Tracer, Arc<Mutex<Recorder>>) {
+        let recorder = Arc::new(Mutex::new(Recorder::new(capacity)));
+        let sink: Arc<Mutex<dyn TraceSink + Send>> = recorder.clone();
         (
             Tracer {
                 sink: Some(Sink::Shared(sink)),
-                clock: Rc::new(Cell::new(0)),
+                clock: Arc::new(AtomicU64::new(0)),
                 cpu: 0,
             },
             recorder,
@@ -723,10 +732,10 @@ impl Tracer {
     }
 
     /// A tracer over an arbitrary sink.
-    pub fn with_sink(sink: Rc<RefCell<dyn TraceSink>>) -> Tracer {
+    pub fn with_sink(sink: Arc<Mutex<dyn TraceSink + Send>>) -> Tracer {
         Tracer {
             sink: Some(Sink::Shared(sink)),
-            clock: Rc::new(Cell::new(0)),
+            clock: Arc::new(AtomicU64::new(0)),
             cpu: 0,
         }
     }
@@ -735,15 +744,33 @@ impl Tracer {
     /// cheapest enabled sink, for callers (CI determinism checks, bench
     /// sweeps, differential tests) that never read events back. The digest
     /// is bit-identical to a [`Recorder`]'s for the same stream.
-    pub fn digest_only() -> (Tracer, Rc<DigestSink>) {
-        let sink = Rc::new(DigestSink::new());
+    pub fn digest_only() -> (Tracer, Arc<DigestSink>) {
+        let sink = Arc::new(DigestSink::new());
         (
             Tracer {
                 sink: Some(Sink::Digest(sink.clone())),
-                clock: Rc::new(Cell::new(0)),
+                clock: Arc::new(AtomicU64::new(0)),
                 cpu: 0,
             },
             sink,
+        )
+    }
+
+    /// A tracer feeding a fresh [`EventBuffer`] that stamps every event with
+    /// a ticket drawn from `seq`; returns both. Sharded simulation gives
+    /// each shard (and the coordinator) one of these sharing a single
+    /// ticket counter, then merges the buffers deterministically and
+    /// replays them into the real sink.
+    pub fn buffering(seq: Arc<AtomicU64>) -> (Tracer, Arc<Mutex<EventBuffer>>) {
+        let buffer = Arc::new(Mutex::new(EventBuffer::new(seq)));
+        let sink: Arc<Mutex<dyn TraceSink + Send>> = buffer.clone();
+        (
+            Tracer {
+                sink: Some(Sink::Shared(sink)),
+                clock: Arc::new(AtomicU64::new(0)),
+                cpu: 0,
+            },
+            buffer,
         )
     }
 
@@ -763,12 +790,12 @@ impl Tracer {
 
     /// Advances the shared cycle clock (shared across all clones).
     pub fn set_clock(&self, now: u64) {
-        self.clock.set(now);
+        self.clock.store(now, Ordering::Relaxed);
     }
 
     /// Current value of the shared cycle clock.
     pub fn clock(&self) -> u64 {
-        self.clock.get()
+        self.clock.load(Ordering::Relaxed)
     }
 
     /// Emits an event attributed to this clone's CPU. `f` runs only when a
@@ -777,8 +804,12 @@ impl Tracer {
     pub fn emit(&self, f: impl FnOnce() -> Event) {
         match &self.sink {
             None => {}
-            Some(Sink::Shared(sink)) => sink.borrow_mut().record(self.clock.get(), self.cpu, f()),
-            Some(Sink::Digest(sink)) => sink.fold(self.clock.get(), self.cpu, &f()),
+            Some(Sink::Shared(sink)) => {
+                sink.lock()
+                    .expect("trace sink poisoned")
+                    .record(self.clock(), self.cpu, f())
+            }
+            Some(Sink::Digest(sink)) => sink.fold(self.clock(), self.cpu, &f()),
         }
     }
 
@@ -788,9 +819,73 @@ impl Tracer {
     pub fn emit_at(&self, cpu: u16, f: impl FnOnce() -> Event) {
         match &self.sink {
             None => {}
-            Some(Sink::Shared(sink)) => sink.borrow_mut().record(self.clock.get(), cpu, f()),
-            Some(Sink::Digest(sink)) => sink.fold(self.clock.get(), cpu, &f()),
+            Some(Sink::Shared(sink)) => {
+                sink.lock()
+                    .expect("trace sink poisoned")
+                    .record(self.clock(), cpu, f())
+            }
+            Some(Sink::Digest(sink)) => sink.fold(self.clock(), cpu, &f()),
         }
+    }
+}
+
+/// A [`TracedEvent`] stamped with a global emission ticket, as captured by
+/// an [`EventBuffer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeqTracedEvent {
+    /// Ticket drawn from the shared emission counter at record time. Within
+    /// one serialized step the tickets reconstruct exact emission order even
+    /// when the step's events landed in several buffers (requester vs XI
+    /// targets).
+    pub seq: u64,
+    /// Simulated cycle at emission.
+    pub clock: u64,
+    /// Emitting (or attributed) CPU.
+    pub cpu: u16,
+    /// The event payload.
+    pub event: Event,
+}
+
+/// A buffering [`TraceSink`] for sharded simulation: events are appended in
+/// arrival order and stamped with tickets from a counter shared across all
+/// buffers of one run, so the coordinator can merge multiple buffers back
+/// into the exact serial emission order before replaying them into the real
+/// sink.
+#[derive(Debug)]
+pub struct EventBuffer {
+    seq: Arc<AtomicU64>,
+    events: Vec<SeqTracedEvent>,
+}
+
+impl EventBuffer {
+    /// An empty buffer drawing tickets from `seq`.
+    pub fn new(seq: Arc<AtomicU64>) -> EventBuffer {
+        EventBuffer {
+            seq,
+            events: Vec::new(),
+        }
+    }
+
+    /// Takes every buffered event out, leaving the buffer empty.
+    pub fn drain(&mut self) -> Vec<SeqTracedEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Whether nothing is currently buffered.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+impl TraceSink for EventBuffer {
+    fn record(&mut self, clock: u64, cpu: u16, event: Event) {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        self.events.push(SeqTracedEvent {
+            seq,
+            clock,
+            cpu,
+            event,
+        });
     }
 }
 
@@ -1695,7 +1790,7 @@ mod tests {
         t.set_clock(100);
         t.for_cpu(2).emit(|| Event::TxCommit);
         t.emit_at(5, || Event::RejectHang { line: 1 });
-        let events = rec.borrow().snapshot();
+        let events = rec.lock().unwrap().snapshot();
         assert_eq!(events.len(), 2);
         assert_eq!(events[0], te(100, 2, Event::TxCommit));
         assert_eq!(events[1], te(100, 5, Event::RejectHang { line: 1 }));
@@ -1708,7 +1803,7 @@ mod tests {
             t.set_clock(i);
             t.emit(|| Event::FabricOccupy { queued: i });
         }
-        let r = rec.borrow();
+        let r = rec.lock().unwrap();
         assert_eq!(r.len(), 4);
         assert_eq!(r.dropped(), 6);
         let clocks: Vec<u64> = r.snapshot().iter().map(|e| e.clock).collect();
@@ -1727,7 +1822,10 @@ mod tests {
             small_t.emit(|| Event::FabricOccupy { queued: i });
             large_t.emit(|| Event::FabricOccupy { queued: i });
         }
-        assert_eq!(small.borrow().digest(), large.borrow().digest());
+        assert_eq!(
+            small.lock().unwrap().digest(),
+            large.lock().unwrap().digest()
+        );
     }
 
     #[test]
@@ -1749,7 +1847,7 @@ mod tests {
         // Also exercise the explicit-CPU emission path on both sinks.
         rec_t.emit_at(17, || Event::TxCommit);
         dig_t.emit_at(17, || Event::TxCommit);
-        let r = rec.borrow();
+        let r = rec.lock().unwrap();
         assert_eq!(dig.digest(), r.digest());
         assert_eq!(dig.events(), r.metrics().events);
         assert_ne!(dig.digest(), FNV_OFFSET, "stream must have been folded");
@@ -1792,7 +1890,7 @@ mod tests {
             t.set_clock(clock);
             t.for_cpu((i % 3) as u16).emit(|| ev);
         }
-        let r = rec.borrow();
+        let r = rec.lock().unwrap();
         let json = r.chrome_trace_json();
         let parsed = parse_chrome_trace(&json).expect("parse back");
         assert_eq!(parsed, r.snapshot());

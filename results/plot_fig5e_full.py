@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Render the full-topology fig 5(e) sweep from BENCH_fig5e_hashtable_full.json.
+
+Stdlib only (json + string formatting): reads the committed artifact's
+"sweep" table — the exact rows the fig5e binary printed — and renders
+
+  * an SVG line chart (fig5e_full.svg, log-y) with the zEC12 chip (6) and
+    book (36/72/108) coherence boundaries marked, and
+  * an ASCII summary of the step-function drops the lock and elision rows
+    show when the sweep crosses a boundary (the global-lock row loses
+    throughput at every book step; elision collapses between 72 and 144
+    where cross-book XI latency exceeds the transactional window).
+
+Usage: python3 results/plot_fig5e_full.py [path-to-json] [path-to-svg]
+"""
+
+import json
+import math
+import sys
+
+CHIP, BOOK, MAX_CPUS = 6, 36, 144
+W, H, ML, MR, MT, MB = 640, 400, 56, 16, 28, 44
+COLORS = {"lock": "#c44e52", "elision": "#4c72b0", "unsync": "#55a868"}
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    sweep = doc.get("sweep")
+    if not sweep:
+        sys.exit(f"{path}: no 'sweep' table — regenerate with a current fig5e binary")
+    rows = sweep["rows"]
+    series = {name: [(r[0], r[1 + i]) for r in rows] for i, name in enumerate(sweep["series"])}
+    return doc["bench"], series
+
+
+def sx(cpus):
+    return ML + (W - ML - MR) * (cpus - 1) / (MAX_CPUS - 1)
+
+
+def sy(v, lo, hi):
+    t = (math.log10(v) - math.log10(lo)) / (math.log10(hi) - math.log10(lo))
+    return H - MB - (H - MB - MT) * t
+
+
+def svg(bench, series, out):
+    vals = [v for pts in series.values() for _, v in pts if v > 0]
+    lo = 10 ** math.floor(math.log10(min(vals)))
+    hi = 10 ** math.ceil(math.log10(max(vals)))
+    e = ['<svg xmlns="http://www.w3.org/2000/svg" '
+         f'width="{W}" height="{H}" font-family="monospace" font-size="11">',
+         f'<rect width="{W}" height="{H}" fill="white"/>',
+         f'<text x="{ML}" y="16">fig 5(e) at the full zEC12 topology '
+         '(normalized throughput, log scale) — dashes: chip/book boundaries</text>']
+    dec = lo
+    while dec <= hi:  # log-y gridlines, one per decade
+        y = sy(dec, lo, hi)
+        e.append(f'<line x1="{ML}" y1="{y:.1f}" x2="{W - MR}" y2="{y:.1f}" stroke="#ddd"/>')
+        e.append(f'<text x="4" y="{y + 4:.1f}">{dec:g}</text>')
+        dec *= 10
+    for b in (CHIP, BOOK, 2 * BOOK, 3 * BOOK, 4 * BOOK):
+        x = sx(b)
+        e.append(f'<line x1="{x:.1f}" y1="{MT}" x2="{x:.1f}" y2="{H - MB}" '
+                 'stroke="#999" stroke-dasharray="4 3"/>')
+        e.append(f'<text x="{x - 8:.1f}" y="{H - MB + 14}">{b}</text>')
+    for name, pts in series.items():
+        color = COLORS.get(name, "#333")
+        path = " ".join(f"{'M' if i == 0 else 'L'}{sx(c):.1f},{sy(v, lo, hi):.1f}"
+                        for i, (c, v) in enumerate(pts))
+        e.append(f'<path d="{path}" fill="none" stroke="{color}" stroke-width="2"/>')
+        for c, v in pts:
+            e.append(f'<circle cx="{sx(c):.1f}" cy="{sy(v, lo, hi):.1f}" r="3" fill="{color}"/>')
+        c, v = pts[-1]
+        e.append(f'<text x="{sx(c) - 40:.1f}" y="{sy(v, lo, hi) - 8:.1f}" '
+                 f'fill="{color}">{name}</text>')
+    e.append(f'<text x="{(W - ML) // 2}" y="{H - 6}">simulated CPUs</text>')
+    e.append("</svg>")
+    with open(out, "w") as f:
+        f.write("\n".join(e) + "\n")
+    return out
+
+
+def boundary_table(series):
+    print(f"{'rows':>8} {'boundary':>18} " +
+          " ".join(f"{n:>10}" for n in series))
+    names = list(series)
+    pts = {n: dict(series[n]) for n in names}
+    xs = [c for c, _ in series[names[0]]]
+    for a, b in zip(xs, xs[1:]):
+        books = [str(k) for k in range(a + 1, b + 1) if k % BOOK == 0]
+        chips = sum(1 for k in range(a + 1, b + 1)
+                    if k % CHIP == 0 and k % BOOK != 0)
+        label = " ".join(p for p in (f"+{chips} chips" if chips else "",
+                                     "book " + ",".join(books) if books else "")
+                         if p) or "-"
+        deltas = " ".join(f"{pts[n][b] / pts[n][a]:>9.2f}x" for n in names)
+        print(f"{a:>3}->{b:<4} {label:>18} {deltas}")
+
+
+def main():
+    src = sys.argv[1] if len(sys.argv) > 1 else "results/BENCH_fig5e_hashtable_full.json"
+    out = sys.argv[2] if len(sys.argv) > 2 else "results/fig5e_full.svg"
+    bench, series = load(src)
+    print(f"{bench}: throughput ratio across topology boundaries "
+          "(global-lock drops at book steps; elision collapses crossing books)\n")
+    boundary_table(series)
+    print(f"\nwrote {svg(bench, series, out)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -9,8 +9,8 @@
 //! speculative prefetches, and page-residency churn.
 
 use proptest::prelude::*;
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::Arc;
+use std::sync::Mutex;
 use ztm::core::TbeginParams;
 use ztm::isa::gr::*;
 use ztm::isa::{Assembler, MemOperand, Program};
@@ -65,7 +65,7 @@ fn counter_program() -> Program {
 
 /// Builds a 4-CPU system running [`counter_program`] with a recording
 /// tracer, coalescing on or off.
-fn counter_system(coalesce: bool) -> (System, Rc<RefCell<Recorder>>) {
+fn counter_system(coalesce: bool) -> (System, Arc<Mutex<Recorder>>) {
     let mut sys = System::new(SystemConfig::with_cpus(4).seed(42));
     sys.set_coalescing(coalesce);
     let (tracer, recorder) = Tracer::recording(Recorder::DEFAULT_CAPACITY);
@@ -96,7 +96,10 @@ fn coalesced_and_full_walk_step_identically() {
         steps > 10_000,
         "program too short to be a meaningful differential"
     );
-    assert_eq!(fast_rec.borrow().digest(), slow_rec.borrow().digest());
+    assert_eq!(
+        fast_rec.lock().unwrap().digest(),
+        slow_rec.lock().unwrap().digest()
+    );
     assert!(
         fast.report().coalesced_accesses > 0,
         "the coalescing side never took the fast path"
@@ -116,7 +119,7 @@ fn coalesced_and_full_walk_agree_on_the_elision_hashtable() {
         sys.set_tracer(tracer);
         t.populate(&mut sys, &(0..256).collect::<Vec<_>>());
         let rep = t.run(&mut sys, 60);
-        let digest = recorder.borrow().digest();
+        let digest = recorder.lock().unwrap().digest();
         (rep.system.steps, digest)
     };
     assert_eq!(run(true), run(false));
@@ -220,7 +223,7 @@ proptest! {
             }
             prop_assert!(steps < 500_000, "burst program failed to halt");
         }
-        prop_assert_eq!(fast_rec.borrow().digest(), slow_rec.borrow().digest());
+        prop_assert_eq!(fast_rec.lock().unwrap().digest(), slow_rec.lock().unwrap().digest());
         prop_assert_eq!(slow.report().coalesced_accesses, 0);
     }
 }

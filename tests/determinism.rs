@@ -27,7 +27,7 @@ fn e1_trace_digest_matches_the_committed_baseline() {
     let (tracer, recorder) = Tracer::recording(Recorder::DEFAULT_CAPACITY);
     sys.set_tracer(tracer);
     wl.run(&mut sys, 400);
-    assert_eq!(recorder.borrow().digest(), E1_DIGEST);
+    assert_eq!(recorder.lock().unwrap().digest(), E1_DIGEST);
 }
 
 #[test]
@@ -38,7 +38,7 @@ fn fig5e_trace_digest_matches_the_committed_baseline() {
     sys.set_tracer(tracer);
     t.populate(&mut sys, &(0..1024).collect::<Vec<_>>());
     t.run(&mut sys, 150);
-    assert_eq!(recorder.borrow().digest(), FIG5E_DIGEST);
+    assert_eq!(recorder.lock().unwrap().digest(), FIG5E_DIGEST);
 }
 
 /// The digest-only sink (no ring, no metrics, no event materialization)
@@ -80,7 +80,7 @@ fn quiesce_under_heap_scheduling_is_exercised_and_deterministic() {
         sys.set_tracer(tracer);
         let wl = PoolWorkload::new(PoolLayout::new(8, 2), SyncMethod::Tbeginc, 42);
         let rep = wl.run(&mut sys, 80);
-        let digest = recorder.borrow().digest();
+        let digest = recorder.lock().unwrap().digest();
         (
             rep.system.tx.broadcast_stops,
             rep.committed_ops(),
@@ -92,4 +92,65 @@ fn quiesce_under_heap_scheduling_is_exercised_and_deterministic() {
     assert!(a.0 > 0, "kernel must escalate to broadcast-stop: {a:?}");
     assert!(a.1 > 0, "every CPU must finish its ops: {a:?}");
     assert_eq!(a, run());
+}
+
+/// Sharded execution (`ZTM_SIM_THREADS` > 1) must leave every committed
+/// digest untouched. The single-shard baselines above route through the
+/// serial scheduler even when threads are requested (nothing to shard);
+/// this constant pins a *two-chip* (12-CPU) elided-hashtable run that
+/// exercises the round scheduler for real. Asserted for 1, 2, and 4 host
+/// threads through both the recording and the digest-only sinks.
+const SHARDED_HT12_DIGEST: u64 = 0xc79e7c937476240f;
+
+#[test]
+fn sharded_hashtable_digest_matches_the_pinned_baseline() {
+    use ztm::workloads::hashtable::{HashTable, TableMethod};
+    for threads in [1usize, 2, 4] {
+        let t = HashTable::new(512, 2048, 20, TableMethod::Elision);
+        let mut sys = System::new(SystemConfig::with_cpus(12).seed(42));
+        sys.set_sim_threads(threads);
+        let (tracer, recorder) = Tracer::recording(Recorder::DEFAULT_CAPACITY);
+        sys.set_tracer(tracer);
+        t.populate(&mut sys, &(0..1024).collect::<Vec<_>>());
+        t.run(&mut sys, 100);
+        assert_eq!(
+            recorder.lock().unwrap().digest(),
+            SHARDED_HT12_DIGEST,
+            "{threads} host threads"
+        );
+    }
+    // The digest-only sink folds the identical byte stream.
+    for threads in [2usize, 4] {
+        let t = HashTable::new(512, 2048, 20, TableMethod::Elision);
+        let mut sys = System::new(SystemConfig::with_cpus(12).seed(42));
+        sys.set_sim_threads(threads);
+        let (tracer, sink) = Tracer::digest_only();
+        sys.set_tracer(tracer);
+        t.populate(&mut sys, &(0..1024).collect::<Vec<_>>());
+        t.run(&mut sys, 100);
+        assert_eq!(sink.digest(), SHARDED_HT12_DIGEST, "{threads} host threads");
+    }
+}
+
+/// The committed single-shard baselines must stay pinned even when host
+/// threads are requested: 1 and 6 CPUs are one shard, so the run routes
+/// through the serial scheduler untouched.
+#[test]
+fn committed_digests_hold_when_sim_threads_are_requested() {
+    let wl = PoolWorkload::new(PoolLayout::new(1, 1), SyncMethod::Tbegin, 42);
+    let mut sys = System::new(SystemConfig::with_cpus(1).seed(42));
+    sys.set_sim_threads(4);
+    let (tracer, recorder) = Tracer::recording(Recorder::DEFAULT_CAPACITY);
+    sys.set_tracer(tracer);
+    wl.run(&mut sys, 400);
+    assert_eq!(recorder.lock().unwrap().digest(), E1_DIGEST);
+
+    let t = HashTable::new(512, 2048, 20, TableMethod::Elision);
+    let mut sys = System::new(SystemConfig::with_cpus(6).seed(42));
+    sys.set_sim_threads(4);
+    let (tracer, recorder) = Tracer::recording(Recorder::DEFAULT_CAPACITY);
+    sys.set_tracer(tracer);
+    t.populate(&mut sys, &(0..1024).collect::<Vec<_>>());
+    t.run(&mut sys, 150);
+    assert_eq!(recorder.lock().unwrap().digest(), FIG5E_DIGEST);
 }

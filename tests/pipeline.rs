@@ -67,7 +67,7 @@ fn mixed_program() -> Program {
 
 /// Builds a 4-CPU system running [`mixed_program`] with a recording tracer,
 /// optionally routed through a width-1 issue window.
-fn mixed_system(width1_window: bool) -> (System, std::rc::Rc<std::cell::RefCell<Recorder>>) {
+fn mixed_system(width1_window: bool) -> (System, std::sync::Arc<std::sync::Mutex<Recorder>>) {
     let mut sys = System::new(SystemConfig::with_cpus(4).seed(42));
     if width1_window {
         sys.set_issue_width(1);
@@ -100,7 +100,10 @@ fn width_1_window_locksteps_with_the_scalar_interpreter() {
         steps > 10_000,
         "program too short to be a meaningful differential"
     );
-    assert_eq!(piped_rec.borrow().digest(), scalar_rec.borrow().digest());
+    assert_eq!(
+        piped_rec.lock().unwrap().digest(),
+        scalar_rec.lock().unwrap().digest()
+    );
 }
 
 /// Same check through a full workload driver (the lock-elided hashtable of
@@ -117,7 +120,7 @@ fn width_1_window_agrees_on_the_elision_hashtable() {
         sys.set_tracer(tracer);
         t.populate(&mut sys, &(0..256).collect::<Vec<_>>());
         let rep = t.run(&mut sys, 60);
-        let digest = recorder.borrow().digest();
+        let digest = recorder.lock().unwrap().digest();
         (rep.system.steps, rep.system.elapsed_cycles, digest)
     };
     assert_eq!(run(true), run(false));
@@ -136,7 +139,7 @@ fn fig5e_width_3_digest_matches_the_committed_baseline() {
         sys.set_tracer(tracer);
         t.populate(&mut sys, &(0..1024).collect::<Vec<_>>());
         let rep = t.run(&mut sys, 150);
-        let digest = recorder.borrow().digest();
+        let digest = recorder.lock().unwrap().digest();
         (digest, rep.system.elapsed_cycles)
     };
     let (digest, w3_cycles) = run();

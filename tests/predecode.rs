@@ -60,7 +60,7 @@ fn mixed_program() -> Program {
 }
 
 /// Builds a 4-CPU system running [`mixed_program`], with a recording tracer.
-fn mixed_system(legacy: bool) -> (System, std::rc::Rc<std::cell::RefCell<Recorder>>) {
+fn mixed_system(legacy: bool) -> (System, std::sync::Arc<std::sync::Mutex<Recorder>>) {
     let mut sys = System::new(SystemConfig::with_cpus(4).seed(42));
     sys.set_legacy_interpreter(legacy);
     let (tracer, recorder) = Tracer::recording(Recorder::DEFAULT_CAPACITY);
@@ -91,7 +91,10 @@ fn predecoded_and_legacy_interpreters_step_identically() {
         steps > 10_000,
         "program too short to be a meaningful differential"
     );
-    assert_eq!(fast_rec.borrow().digest(), slow_rec.borrow().digest());
+    assert_eq!(
+        fast_rec.lock().unwrap().digest(),
+        slow_rec.lock().unwrap().digest()
+    );
 }
 
 /// Same check through a full workload driver (the lock-elided hashtable of
@@ -106,7 +109,7 @@ fn predecoded_and_legacy_agree_on_the_elision_hashtable() {
         sys.set_tracer(tracer);
         t.populate(&mut sys, &(0..256).collect::<Vec<_>>());
         let rep = t.run(&mut sys, 60);
-        let digest = recorder.borrow().digest();
+        let digest = recorder.lock().unwrap().digest();
         (rep.system.steps, digest)
     };
     assert_eq!(run(false), run(true));

@@ -211,7 +211,7 @@ fn read_only_transactions_never_see_a_torn_pair() {
 }
 
 /// Builds a PureStm hashtable system for the interpreter differential.
-fn stm_table_system(legacy: bool) -> (System, std::rc::Rc<std::cell::RefCell<Recorder>>) {
+fn stm_table_system(legacy: bool) -> (System, std::sync::Arc<std::sync::Mutex<Recorder>>) {
     let t = HashTable::new(256, 1024, 30, TableMethod::PureStm);
     let mut sys = System::new(SystemConfig::with_cpus(4).seed(42));
     sys.set_legacy_interpreter(legacy);
@@ -232,7 +232,10 @@ fn stm_workload_agrees_across_interpreters() {
     assert_eq!(fast.report().steps, slow.report().steps);
     assert_eq!(fast.report().stm, slow.report().stm);
     assert!(fast.report().stm.commits >= 160);
-    assert_eq!(fast_rec.borrow().digest(), slow_rec.borrow().digest());
+    assert_eq!(
+        fast_rec.lock().unwrap().digest(),
+        slow_rec.lock().unwrap().digest()
+    );
 }
 
 /// Identically seeded hybrid runs are bit-identical: same trace digest,
@@ -248,7 +251,7 @@ fn hybrid_runs_are_deterministic() {
         sys.set_tracer(tracer);
         t.populate(&mut sys, &(0..128).collect::<Vec<_>>());
         let rep = t.run(&mut sys, 40);
-        let digest = recorder.borrow().digest();
+        let digest = recorder.lock().unwrap().digest();
         (
             rep.system.steps,
             rep.system.stm.clone(),

@@ -9,7 +9,7 @@ use ztm::trace::{
 use ztm::workloads::pool::{PoolLayout, PoolWorkload, SyncMethod};
 
 /// A heavily contended pool update: every CPU hammers a tiny pool.
-fn contended_run(seed: u64) -> (std::rc::Rc<std::cell::RefCell<Recorder>>, u64) {
+fn contended_run(seed: u64) -> (std::sync::Arc<std::sync::Mutex<Recorder>>, u64) {
     let (tracer, recorder) = Tracer::recording(Recorder::DEFAULT_CAPACITY);
     let mut sys = System::new(SystemConfig::with_cpus(6).seed(seed));
     sys.set_tracer(tracer);
@@ -23,18 +23,18 @@ fn identically_seeded_runs_produce_identical_digests() {
     let (a, ops_a) = contended_run(42);
     let (b, ops_b) = contended_run(42);
     assert_eq!(ops_a, ops_b);
-    assert_eq!(a.borrow().digest(), b.borrow().digest());
-    assert_eq!(a.borrow().len(), b.borrow().len());
+    assert_eq!(a.lock().unwrap().digest(), b.lock().unwrap().digest());
+    assert_eq!(a.lock().unwrap().len(), b.lock().unwrap().len());
     // A different seed perturbs the event stream.
     let (c, _) = contended_run(43);
-    assert_ne!(a.borrow().digest(), c.borrow().digest());
+    assert_ne!(a.lock().unwrap().digest(), c.lock().unwrap().digest());
 }
 
 #[test]
 fn invariant_checker_passes_on_a_contended_run_and_trace_round_trips() {
     let (recorder, ops) = contended_run(7);
     assert!(ops > 0);
-    let rec = recorder.borrow();
+    let rec = recorder.lock().unwrap();
     let events = rec.snapshot();
     assert!(
         events.iter().any(
@@ -60,7 +60,7 @@ fn invariant_checker_passes_on_a_contended_run_and_trace_round_trips() {
 #[test]
 fn corrupted_stream_fails_the_invariant_checker() {
     let (recorder, _) = contended_run(7);
-    let mut events = recorder.borrow().snapshot();
+    let mut events = recorder.lock().unwrap().snapshot();
     let clock = events.last().map_or(0, |e| e.clock) + 1;
     // Forge a window that commits after accepting a conflicting Exclusive
     // XI — the isolation violation the checker exists to catch.
@@ -92,5 +92,5 @@ fn corrupted_stream_fails_the_invariant_checker() {
         "{violations:#?}"
     );
     // The corruption also shows in the digest.
-    assert_ne!(digest_of(&events), recorder.borrow().digest());
+    assert_ne!(digest_of(&events), recorder.lock().unwrap().digest());
 }
