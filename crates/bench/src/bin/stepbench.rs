@@ -92,8 +92,51 @@ fn time_steps(sys: &mut System, n: u64, label: &str) {
     );
 }
 
+/// The sharded-driver bracket (5e below), also runnable on its own via
+/// `ZTM_STEPBENCH_ONLY_SHARDED=1` so CI can track the sharded ns/step
+/// without paying for the whole attribution grid.
+fn sharded_bracket(n: u64) {
+    for (label, threads, window) in [
+        ("fig5e elision 36cpu serial", 1usize, None),
+        ("fig5e elision 36cpu 2t w1", 2, Some(1usize)),
+        ("fig5e elision 36cpu 2t spec", 2, None),
+    ] {
+        let table = HashTable::new(256, 1024, 20, TableMethod::Elision);
+        let mut sys = System::new(SystemConfig::with_cpus(36).seed(42));
+        sys.set_sim_threads(threads);
+        if let Some(w) = window {
+            sys.set_shard_window(w);
+        }
+        table.populate(&mut sys, &(0..1024).collect::<Vec<_>>());
+        let prog = table.program(1_000_000);
+        sys.load_program_all(&prog);
+        for i in 0..sys.cpus() {
+            let arena = 0x2000_0000u64 + i as u64 * 0x10_0000;
+            sys.core_mut(i).set_gr(R7, arena);
+        }
+        time_steps(&mut sys, n, label);
+        let s = sys.report().sharding;
+        if s.rounds > 0 {
+            println!(
+                "{:<28} rounds={} mean_round={:.1} chain_max={} rollbacks={} replayed={}",
+                "",
+                s.rounds,
+                s.mean_round_steps(),
+                s.chain_max,
+                s.rollbacks,
+                s.replayed
+            );
+        }
+    }
+}
+
 fn main() {
     let n = 4_000_000u64;
+
+    if std::env::var_os("ZTM_STEPBENCH_ONLY_SHARDED").is_some() {
+        sharded_bracket(n);
+        return;
+    }
 
     // 1. Bare spin, one CPU: interpreter + memory path, trivial scheduler.
     let mut sys = System::new(SystemConfig::with_cpus(1).seed(42));
@@ -257,6 +300,14 @@ fn main() {
         sys.core_mut(i).set_gr(R7, arena);
     }
     time_steps(&mut sys, n, "fig5e purestm 36cpu");
+
+    // 5e. The sharded driver on the real mix: the same fig5e elision shape
+    // stepped serially, sharded with the conservative 1-cycle window
+    // (rollback-free), and sharded with the default speculative window
+    // (epoch journals + rollback). All three produce byte-identical
+    // simulated outcomes; the ns/step spread is the host-side price of
+    // each coordination regime on a given host core count.
+    sharded_bracket(n);
 
     // 6. Coalescing × tracing attribution grid. Two memory shapes — the
     // same-line burst (where the line window serves 7 of 8 loads) and

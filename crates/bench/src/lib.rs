@@ -224,6 +224,10 @@ pub struct Timing {
     pub steps: u64,
     /// Total simulated cycles (max core clock per run, summed over runs).
     pub sim_cycles: u64,
+    /// Aggregated sharded-driver round statistics (all zero on serial
+    /// runs). Host-schedule measurements, so they ride the stripped
+    /// `"timing"` line, never a deterministic field.
+    pub sharding: ztm_sim::ShardingStats,
 }
 
 impl Timing {
@@ -232,6 +236,7 @@ impl Timing {
         self.wall_ms += wall.as_secs_f64() * 1e3;
         self.steps += report.steps;
         self.sim_cycles += report.elapsed_cycles;
+        self.sharding.merge(&report.sharding);
     }
 
     /// The single-line JSON value for the `"timing"` key.
@@ -243,15 +248,24 @@ impl Timing {
                 0.0
             }
         };
+        let s = &self.sharding;
         format!(
             "{{ \"wall_ms\": {:.3}, \"steps_per_sec\": {:.0}, \"sim_cycles_per_sec\": {:.0}, \
-             \"commit\": \"{}\", \"host_threads\": {}, \"sweep_threads\": {} }}",
+             \"commit\": \"{}\", \"host_threads\": {}, \"sweep_threads\": {}, \
+             \"shard_rounds\": {}, \"shard_mean_round\": {:.2}, \"shard_round_max\": {}, \
+             \"shard_chain_max\": {}, \"shard_rollbacks\": {}, \"shard_replayed\": {} }}",
             self.wall_ms,
             per_sec(self.steps),
             per_sec(self.sim_cycles),
             commit_id(),
             sim_threads(),
-            bench_threads()
+            bench_threads(),
+            s.rounds,
+            s.mean_round_steps(),
+            s.round_steps_max,
+            s.chain_max,
+            s.rollbacks,
+            s.replayed
         )
     }
 }

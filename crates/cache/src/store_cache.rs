@@ -70,6 +70,19 @@ impl DrainWrite {
             }
         }
     }
+
+    /// Calls `f` with the address of every byte this write will store. The
+    /// sharded simulator's undo journal uses this to capture pre-images
+    /// before a speculative commit drains into the shared arena (the valid
+    /// mask is private, so the journal cannot enumerate the bytes itself).
+    pub fn for_each_byte(&self, mut f: impl FnMut(Address)) {
+        let base = self.half_line.base();
+        for i in 0..HALF_LINE_SIZE as usize {
+            if self.valid >> i & 1 == 1 {
+                f(base.add(i as u64));
+            }
+        }
+    }
 }
 
 /// Outcome of presenting a store to the store cache.

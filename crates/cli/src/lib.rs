@@ -349,6 +349,19 @@ pub fn execute(o: &Options) -> Result<String, String> {
     let _ = writeln!(out, "xi [ex,dm,ro,lru] : {:?}", r.xi_counts);
     let _ = writeln!(out, "stall retries     : {}", r.stalls);
     let _ = writeln!(out, "coalesced accesses: {}", r.coalesced_accesses);
+    if r.sharding.rounds > 0 {
+        let s = &r.sharding;
+        let _ = writeln!(
+            out,
+            "shard rounds      : {} (mean {:.1} steps, max {}, chain {}, {} rollbacks / {} replayed)",
+            s.rounds,
+            s.mean_round_steps(),
+            s.round_steps_max,
+            s.chain_max,
+            s.rollbacks,
+            s.replayed
+        );
+    }
     if r.tx.broadcast_stops > 0 {
         let _ = writeln!(out, "broadcast stops   : {}", r.tx.broadcast_stops);
     }

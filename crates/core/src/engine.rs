@@ -182,6 +182,14 @@ impl TxEngine {
         self.outer.as_ref().map(|o| o.constrained).unwrap_or(false)
     }
 
+    /// The TDB address the outermost TBEGIN registered, if any. Abort
+    /// processing stores the 256-byte diagnostic block there; the sharded
+    /// simulator's classifier uses this to bound which CPUs an abort step
+    /// can touch through memory.
+    pub fn tdb_addr(&self) -> Option<Address> {
+        self.outer.as_ref().and_then(|o| o.tdb_addr)
+    }
+
     /// Whether the millicode retry ladder has disabled speculative fetching
     /// for the current retry (§III.E).
     pub fn speculation_disabled(&self) -> bool {

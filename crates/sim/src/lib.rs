@@ -24,7 +24,7 @@ mod shard;
 mod system;
 
 pub use config::SystemConfig;
-pub use report::{StmCounts, SystemReport};
+pub use report::{ShardingStats, StmCounts, SystemReport};
 pub use system::{StepLogEntry, System, TraceRecord};
 
 /// Reads a `ZTM_*` boolean switch. Per the workspace convention only the

@@ -42,6 +42,50 @@ impl StmCounts {
     }
 }
 
+/// Sharded-driver round statistics (all zero on serial runs). These are
+/// *host-side* measurements of how the run was scheduled: simulated
+/// outcomes stay byte-identical for any thread count, but rounds, chains,
+/// and rollbacks depend on the round schedule itself, so differential
+/// tests zero this field before comparing whole reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardingStats {
+    /// Parallel (shard-local) rounds dispatched.
+    pub rounds: u64,
+    /// Steps executed inside those rounds (net of rollbacks).
+    pub local_steps: u64,
+    /// Largest single round, in shard-local steps.
+    pub round_steps_max: u64,
+    /// Longest single run-ahead chain, in steps.
+    pub chain_max: u64,
+    /// Speculative epochs rolled back past a global step's key.
+    pub rollbacks: u64,
+    /// Steps re-executed by rollback replays.
+    pub replayed: u64,
+}
+
+impl ShardingStats {
+    /// Mean shard-local steps per round — the coordinator-amortization
+    /// figure the epoch windows exist to raise. Zero when no round ran.
+    pub fn mean_round_steps(&self) -> f64 {
+        if self.rounds == 0 {
+            0.0
+        } else {
+            self.local_steps as f64 / self.rounds as f64
+        }
+    }
+
+    /// Accumulates another run's counters into this one (maxima stay
+    /// maxima, counts add) — for multi-run benchmark timing summaries.
+    pub fn merge(&mut self, other: &ShardingStats) {
+        self.rounds += other.rounds;
+        self.local_steps += other.local_steps;
+        self.round_steps_max = self.round_steps_max.max(other.round_steps_max);
+        self.chain_max = self.chain_max.max(other.chain_max);
+        self.rollbacks += other.rollbacks;
+        self.replayed += other.replayed;
+    }
+}
+
 /// A snapshot of system-wide counters, produced by
 /// [`crate::System::report`].
 #[derive(Debug, Clone, Default)]
@@ -65,6 +109,9 @@ pub struct SystemReport {
     /// Merged software-TM statistics (all zero unless an STM or hybrid
     /// sync mode ran).
     pub stm: StmCounts,
+    /// Sharded-driver round statistics (all zero on serial runs; host-side
+    /// schedule measurements, not simulated outcomes).
+    pub sharding: ShardingStats,
 }
 
 impl SystemReport {

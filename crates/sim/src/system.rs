@@ -62,6 +62,70 @@ struct Node {
     coalesced: u64,
     /// Software-TM statistics observed via `STMNOTE` markers.
     stm: crate::report::StmCounts,
+    /// Open speculative epoch (slack-width sharded rounds only): the undo
+    /// journal that lets the coordinator rewind this CPU past an
+    /// earlier-keyed global step and replay. `None` outside the sharded
+    /// driver and whenever the CPU's speculation is resolved.
+    spec: Option<Box<SpecEpoch>>,
+}
+
+/// The undo journal of one CPU's speculative epoch. Armed when a widened
+/// (slack-width) round first runs the CPU ahead of the provable 1-cycle
+/// slack; every shard-local step it executes afterwards is journaled until
+/// the coordinator either *finalizes* the epoch (the serial frontier passed
+/// all its keys — discard the journal) or *rolls it back* past a global
+/// step's `(clock, cpu)` key: restore the snapshots, undo the arena bytes
+/// in reverse, then replay the kept prefix. See `run_sharded_upto`.
+#[derive(Debug)]
+struct SpecEpoch {
+    /// Pre-step clock of every step executed in this epoch, in execution
+    /// order (ascending; zero-cycle chains repeat a clock). Key *i* of this
+    /// CPU is `(keys[i], cpu)`.
+    keys: Vec<u64>,
+    /// Architectural core state at epoch start.
+    core: Box<CpuCore>,
+    /// Transaction engine at epoch start.
+    engine: Box<TxEngine>,
+    /// RNG stream at epoch start.
+    rng: SmallRng,
+    /// Node scalar snapshots at epoch start (`stalls`, `last_timer` and
+    /// `prefix_area` are deliberately absent: no shard-local step can
+    /// stall, tick the timer, or store to the prefix area).
+    last_ifetch: Option<LineAddr>,
+    icache_installs: u64,
+    last_ifetch_installs: u64,
+    last_ifetch_page_epoch: u64,
+    last_data: Option<LineWindow>,
+    coalesced: u64,
+    stm: crate::report::StmCounts,
+    /// Pre-image bytes of every committed-arena store this epoch performed
+    /// (non-transactional write-through and commit drains), in write order;
+    /// rollback restores them newest-first. Full-epoch granularity: a
+    /// rollback always rewinds to the epoch start before replaying, so the
+    /// journal needs no per-step keying.
+    mem_journal: Vec<(Address, u8)>,
+}
+
+/// Arms a speculative epoch on `node`: snapshots everything a chain of
+/// provably node-local steps can mutate and arms the cache undo journals.
+fn arm_epoch(node: &mut Node, core: &CpuCore) {
+    debug_assert!(node.spec.is_none(), "epoch already armed");
+    node.spec = Some(Box::new(SpecEpoch {
+        keys: Vec::new(),
+        core: Box::new(core.clone()),
+        engine: Box::new(node.engine.clone()),
+        rng: node.rng.clone(),
+        last_ifetch: node.last_ifetch,
+        icache_installs: node.icache_installs,
+        last_ifetch_installs: node.last_ifetch_installs,
+        last_ifetch_page_epoch: node.last_ifetch_page_epoch,
+        last_data: node.last_data,
+        coalesced: node.coalesced,
+        stm: node.stm.clone(),
+        mem_journal: Vec::new(),
+    }));
+    node.cache.undo_arm();
+    node.icache.undo_arm();
 }
 
 /// A per-core *line window*: the data line the previous full directory walk
@@ -241,6 +305,28 @@ pub struct System {
     /// Event blocks awaiting the same frontier, replayed into the real
     /// tracer in serial key order (see [`pending_log`](Self::pending_log)).
     pending_blocks: Vec<(u64, u16, Vec<SeqTracedEvent>)>,
+    /// Speculation window in cycles for the sharded driver
+    /// (`ZTM_SHARD_WINDOW` / [`set_shard_window`](Self::set_shard_window)).
+    /// `None` derives the topology's cross-boundary latency bound
+    /// ([`LatencyModel::min_cross_boundary_latency`]); `1` pins the
+    /// conservative provable-slack admission — no speculation, no journals.
+    ///
+    /// [`LatencyModel::min_cross_boundary_latency`]:
+    /// ztm_cache::LatencyModel::min_cross_boundary_latency
+    shard_window: Option<usize>,
+    /// Per-chain run-ahead ceiling (`ZTM_SHARD_RUN_AHEAD` /
+    /// [`set_shard_run_ahead`](Self::set_shard_run_ahead)).
+    run_ahead_cap: u64,
+    /// Parallel (shard-local) rounds dispatched.
+    shard_rounds: u64,
+    /// Largest single round, in shard-local steps.
+    shard_round_max: u64,
+    /// Longest single run-ahead chain, in steps.
+    shard_chain_max: u64,
+    /// Speculative epochs rolled back past a global step's key.
+    shard_rollbacks: u64,
+    /// Steps re-executed by rollback replays.
+    shard_replayed: u64,
 }
 
 /// The issue windows plus the width they were built with (cached for trace
@@ -284,6 +370,7 @@ impl System {
                 last_data: None,
                 coalesced: 0,
                 stm: crate::report::StmCounts::default(),
+                spec: None,
             })
             .collect();
         let fabric = match config.l3_geometry {
@@ -322,6 +409,14 @@ impl System {
             par_round_min: crate::env_usize("ZTM_SHARD_ROUND_MIN").unwrap_or(96),
             pending_log: Vec::new(),
             pending_blocks: Vec::new(),
+            shard_window: crate::env_usize("ZTM_SHARD_WINDOW"),
+            run_ahead_cap: crate::env_usize("ZTM_SHARD_RUN_AHEAD")
+                .map_or(RUN_AHEAD_CAP, |c| c as u64),
+            shard_rounds: 0,
+            shard_round_max: 0,
+            shard_chain_max: 0,
+            shard_rollbacks: 0,
+            shard_replayed: 0,
             config,
         }
     }
@@ -453,6 +548,35 @@ impl System {
     /// speed/overhead trade — results are identical for any value.
     pub fn set_shard_round_min(&mut self, min: usize) {
         self.par_round_min = min.max(1);
+    }
+
+    /// Sets the sharded driver's speculation window in cycles (also
+    /// settable at construction via `ZTM_SHARD_WINDOW`). A round admits
+    /// every runnable CPU whose key lies within this many cycles of the
+    /// round minimum and lets it execute speculatively under an undo
+    /// journal; `1` reproduces the conservative provable-slack admission
+    /// exactly (no speculation, no journals). Results are byte-identical
+    /// for any value — the window only trades round size against rollback
+    /// frequency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn set_shard_window(&mut self, window: usize) {
+        assert!(window > 0, "shard window must be positive");
+        self.shard_window = Some(window);
+    }
+
+    /// Sets the per-chain run-ahead ceiling (also settable at construction
+    /// via `ZTM_SHARD_RUN_AHEAD`). A host-cadence dial like the window:
+    /// results never depend on it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap` is zero.
+    pub fn set_shard_run_ahead(&mut self, cap: u64) {
+        assert!(cap > 0, "run-ahead cap must be positive");
+        self.run_ahead_cap = cap;
     }
 
     /// Enables or disables the full step log: every executed step is
@@ -868,6 +992,359 @@ impl System {
         )
     }
 
+    /// Computes the [`GlobalTouch`] set of CPU `i`'s next — already
+    /// classified global — step. Evaluated immediately before the step
+    /// executes, against the same state the step will see, so the fabric
+    /// and directory walks are exact. Mirrors [`classify_step_at`]'s
+    /// reasons for going global, branch for branch.
+    fn global_touch(&self, i: usize) -> GlobalTouch {
+        let node = &self.nodes[i];
+        let core = &self.cores[i];
+        let clock = self.hot_clock[i];
+        // A due timer tick raises an async interruption whose abort
+        // processing interrupts the OS (prefix TDB store, page-ins).
+        if let Some(t) = self.config.timer_interval {
+            if clock - node.last_timer >= t {
+                return GlobalTouch::All;
+            }
+        }
+        if let Some(cause) = node.engine.pending_abort() {
+            // Abort processing. A constrained retry can broadcast-stop
+            // (resynchronizing every clock), an OS-interrupting cause
+            // stores the prefix TDB and may page in, and the debug modes
+            // below can pile on. Otherwise the millicode writes at most
+            // the registered 256-byte TDB — touching the holders of the
+            // lines it spans.
+            if node.engine.constrained()
+                || cause.interrupts_os()
+                || core.per.enabled
+                || node.engine.tdc_active()
+            {
+                return GlobalTouch::All;
+            }
+            return match node.engine.tdb_addr() {
+                None => GlobalTouch::Confined,
+                Some(addr) => {
+                    let mut cpus = Vec::new();
+                    let last = addr.add(255).line();
+                    let mut line = addr.line();
+                    loop {
+                        let (owner, sharers) = self.fabric.holders(line);
+                        for c in owner.into_iter().chain(sharers) {
+                            if c.0 != i {
+                                cpus.push(c.0);
+                            }
+                        }
+                        if line == last {
+                            break;
+                        }
+                        line = LineAddr::new(line.index() + 1);
+                    }
+                    GlobalTouch::Cpus(cpus)
+                }
+            };
+        }
+        if core.per.enabled || node.engine.tdc_active() {
+            return GlobalTouch::All; // debug modes: resolve, don't reason
+        }
+        let in_tx = node.engine.in_tx();
+        if in_tx && node.engine.constrained() {
+            return GlobalTouch::All; // constraint violations escalate
+        }
+        let prog = self.programs[i].as_ref().expect("program loaded");
+        let d = prog.decoded(core.pc);
+        // A text page-in bumps the page-residency epoch, invalidating
+        // every CPU's line windows and ifetch snapshots mid-epoch.
+        if self.pages.check(Address::new(d.addr)).is_err() {
+            return GlobalTouch::All;
+        }
+        if in_tx
+            && matches!(
+                d.class,
+                InstrClass::RestrictedInTx | InstrClass::ArModifying | InstrClass::FprModifying
+            )
+        {
+            return GlobalTouch::All;
+        }
+        match d.op {
+            // Engine-only transaction bookkeeping. A TEND commit drains
+            // only lines this CPU holds exclusively (and an arena-slot
+            // allocation is monotone — it can't invalidate any local
+            // verdict), a TABORT or nested-TBEGIN overflow only sets the
+            // pending cause, and TBEGINC's broadcast-stop happens at the
+            // *abort* step, covered by the constrained branch above.
+            Op::Tbegin | Op::Tbeginc | Op::Tend | Op::Tabort => GlobalTouch::Confined,
+            Op::Lg => self.data_touch(i, d, d.flags & FLAG_FOR_UPDATE != 0, AccessClass::Fetch),
+            Op::Ltg | Op::Cg => self.data_touch(i, d, false, AccessClass::Fetch),
+            Op::Stg | Op::Stckf | Op::Csg => self.data_touch(i, d, true, AccessClass::Store),
+            Op::Ntstg => {
+                if !effective_address_decoded(core, d).is_aligned(8) {
+                    return GlobalTouch::All; // specification exception → OS
+                }
+                self.data_touch(i, d, true, AccessClass::Store)
+            }
+            // Dsgr division by zero (the only global verdict left for it)
+            // raises a program exception, and anything unrecognized
+            // resolves everything rather than reasons about it.
+            _ => GlobalTouch::All,
+        }
+    }
+
+    /// Touch set of a global data access: the XI receivers and same-chip
+    /// L3-eviction candidates of the fabric fetch (and of a possible
+    /// next-line speculative prefetch) it is about to perform. Mirrors
+    /// [`classify_data_at`]'s walk; the prefetch dice is *not* rolled —
+    /// including line+1's holders whenever the roll is possible is a
+    /// superset that at worst forces an unnecessary resolution.
+    fn data_touch(
+        &self,
+        i: usize,
+        d: &DecodedInstr,
+        want_excl: bool,
+        class: AccessClass,
+    ) -> GlobalTouch {
+        let node = &self.nodes[i];
+        let core = &self.cores[i];
+        let excl = class == AccessClass::Store || want_excl;
+        let ea = effective_address_decoded(core, d);
+        if !ea.fits_in_line(8) {
+            return GlobalTouch::All; // specification exception → OS
+        }
+        let line = ea.line();
+        let in_tx = node.engine.in_tx();
+        let window_ok = self.coalesce
+            && node.last_data.is_some_and(|w| {
+                w.line == line
+                    && (w.excl || !excl)
+                    && w.gen == node.cache.generation()
+                    && w.page_epoch == self.pages.epoch()
+                    && (!in_tx
+                        || node
+                            .cache
+                            .l1_tx_marks(line)
+                            .is_some_and(|(read, dirty)| match class {
+                                AccessClass::Fetch => read,
+                                AccessClass::Store => dirty,
+                            }))
+            });
+        let main_fetch = if window_ok {
+            false
+        } else {
+            if self.pages.check(ea).is_err() {
+                return GlobalTouch::All; // page-in bumps the page epoch
+            }
+            node.cache.probe_local(line, excl).is_none()
+        };
+        let may_prefetch = class == AccessClass::Fetch
+            && in_tx
+            && self.config.speculative_prefetch
+            && self.config.prefetch_probability > 0.0
+            && !node.engine.speculation_disabled();
+        let mut cpus = Vec::new();
+        if main_fetch {
+            self.fabric
+                .fetch_touch(CpuId(i), line, may_prefetch, &mut cpus);
+        } else if may_prefetch {
+            self.fabric
+                .fetch_touch(CpuId(i), LineAddr::new(line.index() + 1), false, &mut cpus);
+        }
+        // A remaining global verdict with no fetch at all (a non-tx store
+        // without an arena slot) only allocates under the coordinator's
+        // exclusive memory: the empty set.
+        GlobalTouch::Cpus(cpus.into_iter().map(|c| c.0).collect())
+    }
+
+    /// Closes CPU `j`'s speculative epoch as final (the frontier passed
+    /// it, or a resolution proved it untouched): drops the journals.
+    fn finalize_epoch(&mut self, j: usize) {
+        if self.nodes[j].spec.take().is_some() {
+            self.nodes[j].cache.undo_discard();
+            self.nodes[j].icache.undo_discard();
+        }
+    }
+
+    /// Finalizes CPU `j`'s epoch when every speculated key precedes `cut`,
+    /// rolls it back past `cut` otherwise. Returns the steps undone.
+    fn resolve_epoch_past(
+        &mut self,
+        j: usize,
+        cut: (u64, usize),
+        plan: &ShardPlan,
+        shard_tracers: &[Tracer],
+    ) -> u64 {
+        let Some(ep) = self.nodes[j].spec.as_ref() else {
+            return 0;
+        };
+        let keep = ep.keys.partition_point(|&k| (k, j) < cut);
+        if keep == ep.keys.len() {
+            self.finalize_epoch(j);
+            0
+        } else {
+            self.rollback_epoch_to(j, keep, cut, plan, shard_tracers)
+        }
+    }
+
+    /// Resolves the open epochs a global step about to execute at key `g`
+    /// can reach: the stepping CPU's own epoch is final (its speculated
+    /// steps precede the step in program order), and each epoch in `touch`
+    /// is finalized or rolled back past `g`. Epochs outside the touch set
+    /// stay open — the step provably cannot observe or invalidate them.
+    /// Returns the speculated steps undone.
+    fn resolve_epochs_for_global(
+        &mut self,
+        g: (u64, usize),
+        touch: GlobalTouch,
+        plan: &ShardPlan,
+        shard_tracers: &[Tracer],
+    ) -> u64 {
+        self.finalize_epoch(g.1);
+        let mut undone = 0;
+        match touch {
+            GlobalTouch::Confined => {}
+            GlobalTouch::Cpus(mut cpus) => {
+                cpus.sort_unstable();
+                cpus.dedup();
+                for j in cpus {
+                    if j != g.1 {
+                        undone += self.resolve_epoch_past(j, g, plan, shard_tracers);
+                    }
+                }
+            }
+            GlobalTouch::All => {
+                for j in 0..self.nodes.len() {
+                    if j != g.1 {
+                        undone += self.resolve_epoch_past(j, g, plan, shard_tracers);
+                    }
+                }
+            }
+        }
+        undone
+    }
+
+    /// Resolves every open epoch against the serial frontier (the smallest
+    /// next key of any runnable CPU) for a `limit` boundary: afterwards the
+    /// executed steps are exactly a serial prefix. The frontier CPU's own
+    /// epoch is final (its steps precede its next step in program order);
+    /// every other epoch finalizes or rolls back past the frontier. A
+    /// rollback rewinds its CPU to a key strictly *above* the cut (its kept
+    /// keys are below it and `j` breaks ties), so the frontier computed up
+    /// front stays the minimum throughout. Returns the steps undone.
+    fn resolve_epochs_to_frontier(&mut self, plan: &ShardPlan, shard_tracers: &[Tracer]) -> u64 {
+        let mut min: Option<(u64, usize)> = None;
+        for i in 0..self.hot_clock.len() {
+            if self.hot_running[i] && self.programs[i].is_some() {
+                let key = (self.hot_clock[i], i);
+                if min.is_none_or(|m| key < m) {
+                    min = Some(key);
+                }
+            }
+        }
+        let Some(cut) = min else {
+            // Everything halted: the speculated steps are the only steps
+            // left, so they are the serial tail and all final.
+            for j in 0..self.nodes.len() {
+                self.finalize_epoch(j);
+            }
+            return 0;
+        };
+        let mut undone = 0;
+        for j in 0..self.nodes.len() {
+            if j == cut.1 {
+                self.finalize_epoch(j);
+            } else {
+                undone += self.resolve_epoch_past(j, cut, plan, shard_tracers);
+            }
+        }
+        undone
+    }
+
+    /// Rewinds CPU `j`'s open epoch to its start — shared-arena pre-images
+    /// newest-first, cache undo journals, then the node/core snapshots —
+    /// and silently replays the `keep`-step prefix whose keys precede
+    /// `cut`, erasing every speculated step at or past the cut from the
+    /// node, the arena, and the pending output buffers. Replay is exact:
+    /// it starts from the identical pre-epoch state, runs the identical
+    /// node-local steps, and nothing a concurrent epoch did is visible to
+    /// it (MESI isolation). Its output is discarded (tracers disabled, no
+    /// log) — the speculative run already produced it and the kept keys'
+    /// pending entries survive the purge. Returns the steps undone.
+    fn rollback_epoch_to(
+        &mut self,
+        j: usize,
+        keep: usize,
+        cut: (u64, usize),
+        plan: &ShardPlan,
+        shard_tracers: &[Tracer],
+    ) -> u64 {
+        let ep = *self.nodes[j]
+            .spec
+            .take()
+            .expect("rollback without an epoch");
+        let undone = (ep.keys.len() - keep) as u64;
+        debug_assert!(undone > 0, "rollback with nothing to undo");
+        for &(addr, byte) in ep.mem_journal.iter().rev() {
+            self.mem.store_bytes(addr, &[byte]);
+        }
+        let node = &mut self.nodes[j];
+        node.cache.undo_rollback();
+        node.icache.undo_rollback();
+        node.engine = *ep.engine;
+        node.rng = ep.rng;
+        node.last_ifetch = ep.last_ifetch;
+        node.icache_installs = ep.icache_installs;
+        node.last_ifetch_installs = ep.last_ifetch_installs;
+        node.last_ifetch_page_epoch = ep.last_ifetch_page_epoch;
+        node.last_data = ep.last_data;
+        node.coalesced = ep.coalesced;
+        node.stm = ep.stm;
+        self.cores[j] = *ep.core;
+        // Kept keys precede the cut and undone keys follow it (`j` never
+        // ties the cut), so a key comparison splits the pending output.
+        self.pending_log
+            .retain(|e| e.cpu != j || (e.clock, e.cpu) < cut);
+        self.pending_blocks
+            .retain(|b| b.1 as usize != j || (b.0, b.1 as usize) < cut);
+        let disabled = Tracer::disabled();
+        self.nodes[j].cache.set_tracer(disabled.clone());
+        self.nodes[j].engine.set_tracer(disabled.clone());
+        let prog = Arc::clone(self.programs[j].as_ref().expect("program loaded"));
+        for r in 0..keep {
+            let clock = self.cores[j].clock;
+            debug_assert_eq!(clock, ep.keys[r], "replay diverged from the epoch");
+            let mut view = View {
+                cpu: j,
+                base: 0,
+                now: clock,
+                tracer: &disabled,
+                nodes: &mut self.nodes,
+                fabric: None,
+                mem: MemPort::Excl(&mut self.mem),
+                pages: PagePort::Check(&self.pages),
+                fabric_busy: None,
+                config: &self.config,
+                coalesce: self.coalesce,
+                hit_slot: None,
+            };
+            let out = ztm_isa::step(&mut self.cores[j], &prog, &mut view);
+            debug_assert!(
+                !out.broadcast_stop && out.event != StepEvent::Stalled,
+                "a replayed step must be node-local"
+            );
+        }
+        self.hot_clock[j] = self.cores[j].clock;
+        self.hot_running[j] = self.cores[j].is_running();
+        // Rewire the round tracer for subsequent rounds (disabled stand-in
+        // when the run isn't buffering — same as every other CPU).
+        let t = shard_tracers[plan.shard_of(j)].for_cpu(j as u16);
+        self.nodes[j].cache.set_tracer(t.clone());
+        self.nodes[j].engine.set_tracer(t);
+        self.steps -= undone;
+        self.sharded_local_steps -= undone;
+        self.shard_rollbacks += 1;
+        self.shard_replayed += keep as u64;
+        undone
+    }
+
     /// Runs up to `limit` steps through the sharded round scheduler,
     /// stopping early when every CPU halts or, with `horizon`, when the
     /// next serial pick would start at or past it (the exact
@@ -925,6 +1402,23 @@ impl System {
             shard_tracers = (0..shard_count).map(|_| Tracer::disabled()).collect();
         }
 
+        // Speculation window: how many cycles past the round minimum a
+        // CPU's key may lie and still join a round. The default is the
+        // fabric's provable cross-boundary latency bound — any fetch that
+        // crosses a shard boundary costs at least this many cycles, so
+        // global steps rarely land inside an already-speculated window and
+        // rollbacks stay rare. Window 1 is the pinned escape hatch: it
+        // reproduces the conservative provable-slack admission exactly
+        // (no epochs, no journals).
+        let window = self.shard_window.map_or_else(
+            || {
+                self.config
+                    .latency
+                    .min_cross_boundary_latency(self.config.topology.mcm_count() <= 1)
+            },
+            |w| w as u64,
+        );
+
         let mut executed = 0u64;
         let mut cands: Vec<Candidate> = Vec::new();
         // `done` = nothing left to run this side of the frontier (all CPUs
@@ -933,7 +1427,23 @@ impl System {
         // leaves it pending — the continuation call may still execute
         // smaller keys.
         let mut done = false;
-        while executed < limit {
+        // Set once a `limit` boundary forces the speculation frontier to
+        // resolve: the remaining budget then runs under the conservative
+        // admission, which exits exactly at `limit` without opening new
+        // epochs (a speculate-resolve cycle at the boundary could undo as
+        // much as it executes and never converge).
+        let mut conservative_tail = false;
+        loop {
+            if executed >= limit {
+                // Speculated steps are not yet a serial prefix: resolve
+                // every open epoch back to the frontier, then re-check the
+                // budget against the exact count.
+                executed -= self.resolve_epochs_to_frontier(&plan, &shard_tracers);
+                if executed >= limit {
+                    break;
+                }
+                conservative_tail = true;
+            }
             // Mirror the serial scheduler: a running broadcast-stop holder
             // is stepped directly; otherwise the smallest (clock, cpu)
             // runnable CPU is next.
@@ -957,6 +1467,20 @@ impl System {
                 done = true;
                 break;
             };
+            // Epochs the frontier has passed are final: every future cut
+            // key is at least the frontier, so a journal whose last key
+            // precedes it can never be needed — drop it and keep journals
+            // short.
+            for j in 0..self.nodes.len() {
+                let passed = self.nodes[j].spec.as_ref().is_some_and(|ep| {
+                    ep.keys
+                        .last()
+                        .is_none_or(|&k| (k, j) < (min_clock, min_cpu))
+                });
+                if passed {
+                    self.finalize_epoch(j);
+                }
+            }
             // Frontier flush: every future step's key is at least the
             // serial minimum, so pending run-ahead output strictly below
             // it is in its final position.
@@ -966,15 +1490,96 @@ impl System {
                 break;
             }
             if let Some(h) = holder {
-                // A global step's key is provably above every pending
-                // run-ahead key (run-ahead never passes another CPU's
-                // earliest-possible-global key), so pending output is
-                // final before any serialized step.
+                // A quiesce only starts at a constrained-retry abort — a
+                // global step whose resolution closed every epoch before
+                // it executed — and no local round runs while it holds.
+                debug_assert!(
+                    self.nodes.iter().all(|n| n.spec.is_none()),
+                    "open epoch across a quiesce"
+                );
                 self.flush_pending_below((u64::MAX, usize::MAX), &real);
                 self.exec_global_round(h, &shard_tracers, &shard_bufs, sys_buf.as_ref(), &real);
                 executed += 1;
                 continue;
             }
+            // The horizon is a hard key ceiling: nothing at or past
+            // `(hz, 0)` may execute, whether admitted or run ahead.
+            let ceiling = horizon.map_or((u64::MAX, usize::MAX), |hz| (hz, 0));
+            if window > 1 && !conservative_tail {
+                // --- Slack-width (speculative) admission ---
+                cands.clear();
+                for i in 0..self.hot_clock.len() {
+                    if self.hot_running[i]
+                        && self.programs[i].is_some()
+                        && self.hot_clock[i] <= min_clock.saturating_add(window)
+                    {
+                        cands.push(self.classify_step(i));
+                    }
+                }
+                let serial_global = cands
+                    .iter()
+                    .find(|c| (c.clock, c.cpu) == (min_clock, min_cpu))
+                    .expect("serial pick is in the window")
+                    .global;
+                if serial_global {
+                    // The serial pick itself is global: resolve exactly
+                    // the epochs its side effects can reach (rolling them
+                    // back past its key), release the now-final prefix —
+                    // the stepping CPU's own zero-cycle priors share its
+                    // clock, hence the `+ 1` — and serialize the step.
+                    // Untouched speculation with larger keys stays pending
+                    // and is released once the frontier passes it.
+                    let touch = self.global_touch(min_cpu);
+                    executed -= self.resolve_epochs_for_global(
+                        (min_clock, min_cpu),
+                        touch,
+                        &plan,
+                        &shard_tracers,
+                    );
+                    self.flush_pending_below((min_clock, min_cpu + 1), &real);
+                    self.exec_global_round(
+                        min_cpu,
+                        &shard_tracers,
+                        &shard_bufs,
+                        sys_buf.as_ref(),
+                        &real,
+                    );
+                    executed += 1;
+                    continue;
+                }
+                // Admit every local candidate below the ceiling. Global
+                // candidates above the minimum simply wait — speculation
+                // may pass their keys and is rolled back if their side
+                // effects demand it when they serialize.
+                cands.retain(|c| !c.global && (c.clock, c.cpu) < ceiling);
+                cands.sort_unstable_by_key(|c| (c.clock, c.cpu));
+                // Same budget math as the conservative path: take · cap
+                // never exceeds the remaining budget (integer division),
+                // so `executed` can reach `limit` but never overshoot it.
+                let remaining = limit - executed;
+                let take = (cands.len() as u64).min(remaining) as usize;
+                let cap = (remaining / take as u64).clamp(1, self.run_ahead_cap);
+                let bound = (min_clock.saturating_add(window).saturating_add(1), 0).min(ceiling);
+                let steps: Vec<ShardStep> = cands[..take]
+                    .iter()
+                    .map(|c| ShardStep {
+                        cpu: c.cpu,
+                        clock: c.clock,
+                        bound,
+                    })
+                    .collect();
+                executed += self.exec_local_round(
+                    &steps,
+                    cap,
+                    &plan,
+                    &shard_tracers,
+                    &shard_bufs,
+                    buffering,
+                    true,
+                );
+                continue;
+            }
+            // --- Conservative (provable 1-cycle slack) admission ---
             // Only CPUs within one cycle of the minimum can join the
             // round; every runnable CPU beyond that window still bounds
             // run-ahead conservatively at its current key (it could go
@@ -991,12 +1596,9 @@ impl System {
                 }
             }
             let mut safe = safe_set(&cands);
-            // The horizon is a hard key ceiling: nothing at or past
-            // `(hz, 0)` may execute, whether admitted or run ahead (keys
-            // are ascending, so admission truncation is a prefix cut and
+            // Admission truncation at the ceiling is a prefix cut and
             // never empties a non-empty set — the serial-min key is below
-            // the horizon, checked above).
-            let ceiling = horizon.map_or((u64::MAX, usize::MAX), |hz| (hz, 0));
+            // the horizon, checked above.
             if horizon.is_some() {
                 safe.truncate(
                     safe.partition_point(|&(at, _)| (cands[at].clock, cands[at].cpu) < ceiling),
@@ -1005,8 +1607,9 @@ impl System {
             if safe.is_empty() {
                 // The serial pick itself is global: run exactly that one
                 // step under the coordinator and re-plan. Pending keys are
-                // all below a global step's key (see the holder case), so
-                // they flush first.
+                // all below a global step's key in conservative mode
+                // (run-ahead never passes another CPU's earliest-possible-
+                // global key), so they flush first.
                 self.flush_pending_below((u64::MAX, usize::MAX), &real);
                 self.exec_global_round(
                     min_cpu,
@@ -1024,7 +1627,7 @@ impl System {
             // caps so a round can never overshoot `limit`.
             let remaining = limit - executed;
             let take = (safe.len() as u64).min(remaining) as usize;
-            let cap = (remaining / take as u64).clamp(1, RUN_AHEAD_CAP);
+            let cap = (remaining / take as u64).clamp(1, self.run_ahead_cap);
             let steps: Vec<ShardStep> = safe[..take]
                 .iter()
                 .map(|&(at, bound)| ShardStep {
@@ -1033,16 +1636,31 @@ impl System {
                     bound: bound.min(outside).min(ceiling),
                 })
                 .collect();
-            executed +=
-                self.exec_local_round(&steps, cap, &plan, &shard_tracers, &shard_bufs, buffering);
+            executed += self.exec_local_round(
+                &steps,
+                cap,
+                &plan,
+                &shard_tracers,
+                &shard_bufs,
+                buffering,
+                false,
+            );
         }
 
         // All halted or horizon reached: no future step can precede any
-        // pending key, so the tail of the run-ahead output is final. (A
-        // `limit` exit keeps it pending for the continuation call.)
+        // pending or speculated key (chains were bounded by the ceiling),
+        // so the tail of the run-ahead output is final. (A `limit` exit
+        // resolved its epochs at the budget boundary above.)
         if done {
+            for j in 0..self.nodes.len() {
+                self.finalize_epoch(j);
+            }
             self.flush_pending_below((u64::MAX, usize::MAX), &real);
         }
+        debug_assert!(
+            self.nodes.iter().all(|n| n.spec.is_none()),
+            "open epoch across a sharded-run boundary"
+        );
         // Restore the real tracer wiring (`set_tracer` re-fans the per-CPU
         // clones) and rebuild the scheduling heap for the serial engine.
         if buffering {
@@ -1130,6 +1748,7 @@ impl System {
         shard_tracers: &[Tracer],
         shard_bufs: &[Arc<Mutex<EventBuffer>>],
         buffering: bool,
+        spec: bool,
     ) -> u64 {
         let shard_count = plan.shard_count();
         let mut per_shard: Vec<Vec<ShardStep>> = vec![Vec::new(); shard_count];
@@ -1178,7 +1797,7 @@ impl System {
                     handles.push(scope.spawn(move || {
                         run_shard_steps(
                             &work, cap, base, nodes, cores, clocks, running, shared, pages, config,
-                            programs, coalesce, tracer, buf, want_log,
+                            programs, coalesce, tracer, buf, want_log, spec,
                         )
                     }));
                 }
@@ -1211,21 +1830,27 @@ impl System {
                     &shard_tracers[s],
                     shard_bufs.get(s),
                     want_log,
+                    spec,
                 ));
             }
             out
         };
 
         let mut total = 0u64;
+        let mut chain_max = 0u64;
         let mut all_logs: Vec<StepLogEntry> = Vec::new();
         let mut all_blocks: Vec<(u64, u16, Vec<SeqTracedEvent>)> = Vec::new();
         for r in results {
             total += r.executed;
+            chain_max = chain_max.max(r.chain_max);
             all_logs.extend(r.log);
             all_blocks.extend(r.blocks);
         }
         self.steps += total;
         self.sharded_local_steps += total;
+        self.shard_rounds += 1;
+        self.shard_round_max = self.shard_round_max.max(total);
+        self.shard_chain_max = self.shard_chain_max.max(chain_max);
         // Run-ahead output is not final until the key frontier passes it
         // (a later round can execute smaller keys on other CPUs): merge the
         // round into the pending buffers, kept key-sorted. Stable sorts:
@@ -1343,8 +1968,35 @@ impl System {
             xi_counts: self.fabric.xi_counts(),
             coalesced_accesses: self.nodes.iter().map(|n| n.coalesced).sum(),
             stm,
+            sharding: crate::report::ShardingStats {
+                rounds: self.shard_rounds,
+                local_steps: self.sharded_local_steps,
+                round_steps_max: self.shard_round_max,
+                chain_max: self.shard_chain_max,
+                rollbacks: self.shard_rollbacks,
+                replayed: self.shard_replayed,
+            },
         }
     }
+}
+
+/// Which other CPUs' speculative epochs a global step can observe or
+/// invalidate. Over-approximating is always safe — it only forces an
+/// unnecessary finalize-or-rollback; *under*-approximating would let a
+/// global step's effects interleave wrongly with speculation, so every
+/// unrecognized case in [`System::global_touch`] resolves to [`All`].
+///
+/// [`All`]: GlobalTouch::All
+enum GlobalTouch {
+    /// Only the stepping CPU's own node plus resources no speculating CPU
+    /// can reach (exclusively-held lines, the coordinator's arena index):
+    /// nothing to resolve.
+    Confined,
+    /// A bounded set: XI receivers and L3-eviction candidates of a fabric
+    /// fetch, or holders of the lines a TDB store spans.
+    Cpus(Vec<usize>),
+    /// Potentially any CPU: OS interruptions, page-ins, quiesce, timers.
+    All,
 }
 
 /// One admitted round entry: CPU `cpu`'s step at `clock`, plus the key
@@ -1369,6 +2021,8 @@ struct ShardRunResult {
     /// the coordinator merges blocks of all shards by `(clock, cpu)`, the
     /// round's serial execution order.
     blocks: Vec<(u64, u16, Vec<SeqTracedEvent>)>,
+    /// Longest run-ahead chain in this slice, in steps.
+    chain_max: u64,
 }
 
 /// Executes one shard's slice of a round: provably node-local steps over
@@ -1396,18 +2050,31 @@ fn run_shard_steps(
     tracer: &Tracer,
     buf: Option<&Arc<Mutex<EventBuffer>>>,
     want_log: bool,
+    spec: bool,
 ) -> ShardRunResult {
     let mut res = ShardRunResult {
         executed: 0,
         log: Vec::new(),
         blocks: Vec::new(),
+        chain_max: 0,
     };
     for &ShardStep { cpu, clock, bound } in work {
         let at = cpu - base;
         debug_assert_eq!(hot_clock[at], clock, "stale round plan");
+        debug_assert!(
+            spec || nodes[at].spec.is_none(),
+            "undo journal armed outside a speculative round"
+        );
+        // Speculative rounds journal every step until the coordinator's
+        // frontier passes its key: arm an epoch on first touch (one may
+        // already be open from an earlier round of the same call).
+        if spec && nodes[at].spec.is_none() {
+            arm_epoch(&mut nodes[at], &cores[at]);
+        }
         let prog = programs[cpu].as_ref().expect("program loaded");
         let mut clock = clock;
         let mut budget = cap;
+        let mut chain = 0u64;
         loop {
             tracer.set_clock(clock);
             let mut view = View {
@@ -1432,6 +2099,10 @@ fn run_shard_steps(
             hot_clock[at] = cores[at].clock;
             hot_running[at] = cores[at].is_running();
             res.executed += 1;
+            chain += 1;
+            if let Some(ep) = nodes[at].spec.as_deref_mut() {
+                ep.keys.push(clock);
+            }
             if want_log {
                 res.log.push(StepLogEntry {
                     clock,
@@ -1469,6 +2140,7 @@ fn run_shard_steps(
             }
             clock = next_clock;
         }
+        res.chain_max = res.chain_max.max(chain);
     }
     res
 }
@@ -2276,6 +2948,20 @@ impl View<'_> {
                 });
         }
         if !tx {
+            // Under an open speculative epoch, capture the committed-arena
+            // pre-image before the write-through: a rollback restores the
+            // journal newest-first. (Only this CPU can reach these bytes —
+            // the classifier proved exclusive ownership — so the pre-image
+            // is stable until this epoch resolves.)
+            let at = self.cpu - self.base;
+            if self.nodes[at].spec.is_some() {
+                let mut old = [0u8; 8];
+                self.mem.load_bytes(addr, &mut old[..data.len()]);
+                let ep = self.nodes[at].spec.as_deref_mut().expect("checked above");
+                for (i, &b) in old[..data.len()].iter().enumerate() {
+                    ep.mem_journal.push((addr.add(i as u64), b));
+                }
+            }
             self.mem.store_bytes(addr, data);
         }
     }
@@ -2416,6 +3102,29 @@ impl Machine for View<'_> {
             TendOutcome::Inner => EndResult::Inner { cycles: 1 },
             TendOutcome::Commit { cycles } => {
                 let writes = node.cache.commit_tx();
+                // Under an open speculative epoch, journal the pre-image of
+                // every byte the drain will overwrite (the drain only
+                // touches exclusively-held lines, so the pre-images are
+                // stable until this epoch resolves).
+                let at = self.cpu - self.base;
+                if self.nodes[at].spec.is_some() {
+                    let mut addrs: Vec<Address> = Vec::new();
+                    for w in &writes {
+                        w.for_each_byte(|a| addrs.push(a));
+                    }
+                    let mut pre = Vec::with_capacity(addrs.len());
+                    for &a in &addrs {
+                        let mut b = [0u8; 1];
+                        self.mem.load_bytes(a, &mut b);
+                        pre.push((a, b[0]));
+                    }
+                    self.nodes[at]
+                        .spec
+                        .as_deref_mut()
+                        .expect("checked above")
+                        .mem_journal
+                        .extend(pre);
+                }
                 for w in writes {
                     self.mem.apply_write(&w);
                 }

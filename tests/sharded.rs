@@ -16,6 +16,16 @@ use ztm::workloads::bank::{Bank, BankMethod};
 use ztm::workloads::hashtable::{HashTable, TableMethod};
 use ztm::workloads::pool::{PoolLayout, PoolWorkload, SyncMethod};
 
+/// The deterministic portion of a report. The `sharding` stats measure how
+/// the *host* scheduled the run (rounds, chains, rollbacks) and legitimately
+/// vary with thread count and window — every simulated outcome must not, so
+/// differential tests zero them and diff everything else.
+fn det(sys: &System) -> String {
+    let mut r = sys.report();
+    r.sharding = Default::default();
+    format!("{r:?}")
+}
+
 /// Runs the lock-elided hashtable on `cpus` CPUs with the step log armed
 /// and returns everything observable: the full step log and the report.
 fn hashtable_run(cpus: usize, threads: usize) -> (Vec<StepLogEntry>, String) {
@@ -36,7 +46,8 @@ fn hashtable_run(cpus: usize, threads: usize) -> (Vec<StepLogEntry>, String) {
             sys.report().steps
         );
     }
-    (sys.take_step_log(), format!("{:?}", sys.report()))
+    let report = det(&sys);
+    (sys.take_step_log(), report)
 }
 
 /// 12 CPUs = two chips of one book: the plan shards per chip. The hashtable
@@ -67,7 +78,8 @@ fn bank_step_log_is_identical_across_books() {
         sys.set_shard_round_min(1); // force the scoped-thread dispatch path
         sys.set_step_log(true);
         bank.run(&mut sys, 25);
-        (sys.take_step_log(), format!("{:?}", sys.report()))
+        let report = det(&sys);
+        (sys.take_step_log(), report)
     };
     let serial = run(1);
     let sharded = run(2);
@@ -91,11 +103,8 @@ fn quiesce_escalation_matches_serial_exactly() {
         sys.set_shard_round_min(1); // force the scoped-thread dispatch path
         sys.set_step_log(true);
         let rep = wl.run(&mut sys, 40);
-        (
-            sys.take_step_log(),
-            rep.system.tx.broadcast_stops,
-            format!("{:?}", sys.report()),
-        )
+        let report = det(&sys);
+        (sys.take_step_log(), rep.system.tx.broadcast_stops, report)
     };
     let serial = run(1);
     assert!(
@@ -168,7 +177,8 @@ fn step_budget_boundaries_do_not_disturb_the_sequence() {
             }
             total += n;
         }
-        (total, sys.take_step_log(), format!("{:?}", sys.report()))
+        let report = det(&sys);
+        (total, sys.take_step_log(), report)
     };
     let serial = chunked(1, 1_000_000_000);
     for (threads, chunk) in [(2, 997), (4, 1), (4, 64)] {
@@ -201,7 +211,8 @@ fn cycle_horizons_do_not_disturb_the_sequence() {
         }
         sys.run_until_halt(10_000_000);
         let cycles = sys.report().elapsed_cycles;
-        (sys.take_step_log(), format!("{:?}", sys.report()), cycles)
+        let report = det(&sys);
+        (sys.take_step_log(), report, cycles)
     };
     let serial = chunked(1, u64::MAX, 0);
     assert!(!serial.0.is_empty());
@@ -213,6 +224,91 @@ fn cycle_horizons_do_not_disturb_the_sequence() {
         }
         assert_eq!(serial.1, sharded.1, "report diverged ({threads} threads)");
     }
+}
+
+/// `ZTM_SHARD_WINDOW=1` (here via the setter) pins the conservative
+/// provable-slack admission of the pre-epoch driver: no epochs, no
+/// journals, zero rollbacks — and still the exact serial stream. The wide
+/// default window must agree with both on everything deterministic.
+#[test]
+fn window_one_reproduces_conservative_admission() {
+    let run = |threads: usize, window: Option<usize>| {
+        let bank = Bank::new(64, BankMethod::Tbegin);
+        let mut sys = System::new(SystemConfig::with_cpus(12).seed(9));
+        sys.set_sim_threads(threads);
+        sys.set_shard_round_min(1);
+        sys.set_step_log(true);
+        if let Some(w) = window {
+            sys.set_shard_window(w);
+        }
+        bank.run(&mut sys, 25);
+        let sharding = sys.report().sharding;
+        let report = det(&sys);
+        (sys.take_step_log(), report, sharding)
+    };
+    let serial = run(1, None);
+    let conservative = run(2, Some(1));
+    let wide = run(2, None);
+    assert_eq!(
+        conservative.2.rollbacks, 0,
+        "window 1 admits only provably-final steps"
+    );
+    assert_eq!(conservative.2.replayed, 0);
+    for other in [&conservative, &wide] {
+        assert_eq!(serial.0.len(), other.0.len(), "step count diverged");
+        for (at, (a, b)) in serial.0.iter().zip(&other.0).enumerate() {
+            assert_eq!(a, b, "first divergence at step {at}");
+        }
+        assert_eq!(serial.1, other.1, "report diverged");
+    }
+    // The wide window must actually widen rounds, or the speculation is
+    // vacuous on this contended workload.
+    assert!(
+        wide.2.mean_round_steps() > conservative.2.mean_round_steps(),
+        "wide window should beat conservative rounds: {:?} vs {:?}",
+        wide.2,
+        conservative.2
+    );
+}
+
+/// The rollback path must actually run: on a contended bank workload the
+/// wide window speculates past global steps (XI-carrying fetches, abort
+/// processing) and unwinds. The run is deterministic — the round schedule
+/// depends only on the workload and thread count, not host timing — so the
+/// counters are stable, and the simulated outcome still matches serial
+/// exactly (checked against `bank_step_log_is_identical_across_books` /
+/// `window_one_reproduces_conservative_admission` on the same workloads).
+#[test]
+fn speculation_rollbacks_fire_and_are_invisible() {
+    let bank = Bank::new(64, BankMethod::Tbegin);
+    let mut serial = System::new(SystemConfig::with_cpus(12).seed(9));
+    serial.set_step_log(true);
+    bank.run(&mut serial, 25);
+    let serial_report = det(&serial);
+    let serial_log = serial.take_step_log();
+
+    let bank = Bank::new(64, BankMethod::Tbegin);
+    let mut sys = System::new(SystemConfig::with_cpus(12).seed(9));
+    sys.set_sim_threads(2);
+    sys.set_shard_round_min(1);
+    sys.set_step_log(true);
+    bank.run(&mut sys, 25);
+    let s = sys.report().sharding;
+    assert!(
+        s.rollbacks >= 1,
+        "the contended bank must provoke at least one rollback: {s:?}"
+    );
+    assert!(
+        s.replayed >= 1,
+        "at least one rollback must land mid-epoch and replay a prefix: {s:?}"
+    );
+    assert!(s.chain_max >= 2, "run-ahead chains must form: {s:?}");
+    assert_eq!(det(&sys), serial_report, "rollbacks leaked into the report");
+    assert_eq!(
+        serial_log,
+        sys.take_step_log(),
+        "rollbacks leaked into the step log"
+    );
 }
 
 proptest! {
@@ -247,7 +343,51 @@ proptest! {
             sys.set_shard_round_min(1); // force the scoped-thread dispatch path
             sys.set_step_log(true);
             wl.run(&mut sys, 10);
-            (sys.take_step_log(), format!("{:?}", sys.report()))
+            let report = det(&sys);
+            (sys.take_step_log(), report)
+        };
+        let serial = run(1);
+        let sharded = run(threads);
+        prop_assert_eq!(serial.0.len(), sharded.0.len(), "step count diverged");
+        for (at, (a, b)) in serial.0.iter().zip(&sharded.0).enumerate() {
+            prop_assert_eq!(a, b, "first divergence at step {} of {}", at, serial.0.len());
+        }
+        prop_assert_eq!(serial.1, sharded.1);
+    }
+
+    /// Shrunk cross-boundary latencies and explicit window widths: with
+    /// `l4_hit`/`cross_mcm`/`memory` forced down to a handful of cycles,
+    /// cross-shard effects land *inside* speculation windows constantly, so
+    /// the resolve/rollback machinery — not latency slack — carries the
+    /// equivalence. Windows wider than the latency bound are deliberately
+    /// legal for the same reason.
+    #[test]
+    fn speculation_survives_shrunk_cross_boundary_latencies(
+        cpus in 7usize..20,
+        threads in 2usize..5,
+        pool in 1u64..24,
+        seed in any::<u64>(),
+        l4 in 2u64..40,
+        cross in 2u64..40,
+        memory in 4u64..60,
+        window in prop_oneof![Just(None), (1usize..96).prop_map(Some)],
+    ) {
+        let run = |host_threads: usize| {
+            let wl = PoolWorkload::new(PoolLayout::new(pool, 2), SyncMethod::Tbegin, seed);
+            let mut cfg = SystemConfig::with_cpus(cpus).seed(seed);
+            cfg.latency.l4_hit = l4;
+            cfg.latency.cross_mcm = cross;
+            cfg.latency.memory = memory;
+            let mut sys = System::new(cfg);
+            sys.set_sim_threads(host_threads);
+            sys.set_shard_round_min(1); // force the scoped-thread dispatch path
+            sys.set_step_log(true);
+            if let Some(w) = window {
+                sys.set_shard_window(w);
+            }
+            wl.run(&mut sys, 10);
+            let report = det(&sys);
+            (sys.take_step_log(), report)
         };
         let serial = run(1);
         let sharded = run(threads);
