@@ -29,9 +29,24 @@ pub use system::{StepLogEntry, System, TraceRecord};
 
 /// Reads a `ZTM_*` boolean switch. Per the workspace convention only the
 /// value `"1"` engages a switch — `ZTM_FOO=0` and `ZTM_FOO=` must mean off,
-/// so stray shell exports cannot flip behavior by accident.
+/// so stray shell exports cannot flip behavior by accident. Anything else
+/// (`"true"`, `"yes"`, `"0 "`, …) is a configuration error worth failing
+/// loudly on, naming the bad token — silently reading those as *off* would
+/// contradict what the user plainly asked for.
+///
+/// # Panics
+///
+/// Panics when the variable is set to something other than `"1"`, `"0"`,
+/// or the empty string.
 pub fn env_flag(name: &str) -> bool {
-    std::env::var(name).map(|v| v == "1").unwrap_or(false)
+    match std::env::var(name) {
+        Err(_) => false,
+        Ok(v) => match v.as_str() {
+            "1" => true,
+            "0" | "" => false,
+            _ => panic!("{name}: expected \"1\", \"0\", or empty, got {v:?}"),
+        },
+    }
 }
 
 /// Reads a `ZTM_*` positive-integer knob. Absent or empty → `None` (the
