@@ -9,7 +9,7 @@
 use std::time::Instant;
 use ztm_bench::{
     bench_tag, cpu_counts, print_header, print_row, quick, reference_throughput, run_pool, sweep,
-    write_bench_json, Timing,
+    write_bench_json_sweep, SweepTable, Timing,
 };
 use ztm_workloads::pool::SyncMethod;
 
@@ -68,14 +68,32 @@ fn main() {
     }
     let results: Vec<f64> = timed.iter().map(|(t, _, _)| *t).collect();
     let mut top_row = Vec::new();
+    let mut rows = Vec::new();
     for (i, cpus) in cpu_counts().into_iter().enumerate() {
         let row: Vec<f64> = results[6 * i..6 * i + 6]
             .iter()
             .map(|t| 100.0 * t / reference)
             .collect();
         print_row(cpus, &row);
+        rows.push((cpus, row.clone()));
         top_row = row;
     }
+    // The printed figure, exported verbatim so `results/plot_fig5e_full.py`
+    // can render it offline. Series names are distinct from the headline
+    // keys below (the digest-only artifact diff grep-extracts headline
+    // lines by key, which must stay unique per file).
+    let sweep_table = SweepTable {
+        x: "cpus",
+        series: &[
+            "lock_small",
+            "tbeginc_small",
+            "tbegin_small",
+            "lock_large",
+            "tbeginc_large",
+            "tbegin_large",
+        ],
+        rows,
+    };
     println!();
     let cpus = top;
     let [none, tbc] = results[results.len() - 2..] else {
@@ -83,7 +101,7 @@ fn main() {
     };
     let tbc_pct = 100.0 * tbc / none;
     println!("TBEGINC at {cpus} CPUs = {tbc_pct:.1}% of unsynchronized throughput (paper: 99.8%)",);
-    match write_bench_json(
+    match write_bench_json_sweep(
         &bench_tag("fig5a_pools"),
         &[
             ("cpus_max", cpus as f64),
@@ -95,6 +113,7 @@ fn main() {
             ("tbegin_large_pool", top_row[5]),
             ("tbeginc_vs_unsync_pct", tbc_pct),
         ],
+        Some(&sweep_table),
         None,
         Some(&timing),
     ) {

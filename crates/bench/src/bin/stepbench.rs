@@ -109,14 +109,16 @@ fn time_steps(sys: &mut System, n: u64, label: &str) {
 /// `ZTM_STEPBENCH_ONLY_SHARDED=1` so CI can track the sharded ns/step
 /// without paying for the whole attribution grid.
 fn sharded_bracket(n: u64) {
-    for (label, threads, window) in [
-        ("fig5e elision 36cpu serial", 1usize, None),
-        ("fig5e elision 36cpu 2t w1", 2, Some(1usize)),
-        ("fig5e elision 36cpu 2t spec", 2, None),
+    for (label, threads, window, adapt) in [
+        ("fig5e elision 36cpu serial", 1usize, None, true),
+        ("fig5e elision 36cpu 2t w1", 2, Some(1usize), true),
+        ("fig5e elision 36cpu 2t fixed", 2, None, false),
+        ("fig5e elision 36cpu 2t adapt", 2, None, true),
     ] {
         let table = HashTable::new(256, 1024, 20, TableMethod::Elision);
         let mut sys = System::new(SystemConfig::with_cpus(36).seed(42));
         sys.set_sim_threads(threads);
+        sys.set_shard_adapt(adapt);
         if let Some(w) = window {
             sys.set_shard_window(w);
         }
@@ -139,6 +141,17 @@ fn sharded_bracket(n: u64) {
                 s.rollbacks,
                 s.replayed
             );
+            if s.window_cpus > 0 {
+                println!(
+                    "{:<28} windows min={} mean={:.1} max={} clamped={}/{}",
+                    "",
+                    s.window_min,
+                    s.mean_window(),
+                    s.window_max,
+                    s.window_clamped,
+                    s.window_cpus
+                );
+            }
         }
     }
 }

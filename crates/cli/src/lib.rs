@@ -361,6 +361,24 @@ pub fn execute(o: &Options) -> Result<String, String> {
             s.rollbacks,
             s.replayed
         );
+        if s.rollbacks > 0 {
+            let _ = writeln!(
+                out,
+                "shard rollbacks   : {} tx / {} fabric / {} quiesce",
+                s.rollbacks_tx, s.rollbacks_fabric, s.rollbacks_quiesce
+            );
+        }
+        if s.window_cpus > 0 {
+            let _ = writeln!(
+                out,
+                "shard windows     : min {} / mean {:.1} / max {} cycles ({} of {} CPUs clamped)",
+                s.window_min,
+                s.mean_window(),
+                s.window_max,
+                s.window_clamped,
+                s.window_cpus
+            );
+        }
     }
     if r.tx.broadcast_stops > 0 {
         let _ = writeln!(out, "broadcast stops   : {}", r.tx.broadcast_stops);

@@ -114,6 +114,54 @@ impl Candidate {
     }
 }
 
+/// The two smallest earliest-possible-global keys of a candidate set, so
+/// the per-candidate binding constraint — min over *other* candidates —
+/// falls out without an O(n²) pass: every candidate's constraint is the
+/// smallest key unless that key is its own, in which case it is the second.
+pub(crate) struct EgMin {
+    /// Smallest earliest-global key and the candidate index holding it.
+    best: Option<((u64, usize), usize)>,
+    second: Option<(u64, usize)>,
+}
+
+/// "No constraint": no other candidate can ever go global.
+pub(crate) const UNBOUNDED: (u64, usize) = (u64::MAX, usize::MAX);
+
+impl EgMin {
+    pub(crate) fn new(cands: &[Candidate]) -> EgMin {
+        let mut best: Option<((u64, usize), usize)> = None;
+        let mut second: Option<(u64, usize)> = None;
+        for (at, c) in cands.iter().enumerate() {
+            let eg = c.earliest_global();
+            match best {
+                Some((b, _)) if eg >= b => {
+                    if second.is_none_or(|s| eg < s) {
+                        second = Some(eg);
+                    }
+                }
+                _ => {
+                    if let Some((b, _)) = best {
+                        second = Some(b);
+                    }
+                    best = Some((eg, at));
+                }
+            }
+        }
+        EgMin { best, second }
+    }
+
+    /// The smallest earliest-possible-global key among candidates other
+    /// than index `at` ([`UNBOUNDED`] when there is none).
+    pub(crate) fn excluding(&self, at: usize) -> (u64, usize) {
+        match self.best {
+            Some((_, bat)) if bat == at => self.second,
+            Some((b, _)) => Some(b),
+            None => None,
+        }
+        .unwrap_or(UNBOUNDED)
+    }
+}
+
 /// Computes the round's *safe set*: the local steps that provably execute
 /// before any other CPU can next influence them, in serial `(clock, cpu)`
 /// order. Each admitted entry is `(index into cands, bound)` where `bound`
@@ -147,25 +195,7 @@ impl Candidate {
 pub(crate) fn safe_set(cands: &[Candidate]) -> Vec<(usize, (u64, usize))> {
     // The binding constraint for candidate i is min over j != i of
     // earliest_global(j): track the two smallest to exclude self.
-    let mut best: Option<((u64, usize), usize)> = None; // (eg, index)
-    let mut second: Option<(u64, usize)> = None;
-    for (at, c) in cands.iter().enumerate() {
-        let eg = c.earliest_global();
-        match best {
-            Some((b, _)) if eg >= b => {
-                if second.is_none_or(|s| eg < s) {
-                    second = Some(eg);
-                }
-            }
-            _ => {
-                if let Some((b, _)) = best {
-                    second = Some(b);
-                }
-                best = Some((eg, at));
-            }
-        }
-    }
-    const UNBOUNDED: (u64, usize) = (u64::MAX, usize::MAX);
+    let eg = EgMin::new(cands);
     let mut out: Vec<(usize, (u64, usize))> = cands
         .iter()
         .enumerate()
@@ -173,12 +203,7 @@ pub(crate) fn safe_set(cands: &[Candidate]) -> Vec<(usize, (u64, usize))> {
             if c.global {
                 return None;
             }
-            let bound = match best {
-                Some((_, bat)) if bat == at => second,
-                Some((b, _)) => Some(b),
-                None => None,
-            }
-            .unwrap_or(UNBOUNDED);
+            let bound = eg.excluding(at);
             ((c.clock, c.cpu) < bound).then_some((at, bound))
         })
         .collect();

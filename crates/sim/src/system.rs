@@ -4,7 +4,7 @@
 
 use crate::config::SystemConfig;
 use crate::report::SystemReport;
-use crate::shard::{safe_set, split_mut, Candidate, ShardPlan};
+use crate::shard::{safe_set, split_mut, Candidate, EgMin, ShardPlan};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
@@ -67,6 +67,11 @@ struct Node {
     /// earlier-keyed global step and replay. `None` outside the sharded
     /// driver and whenever the CPU's speculation is resolved.
     spec: Option<Box<SpecEpoch>>,
+    /// The most recently retired epoch, kept for reuse: arming recycles its
+    /// boxed core/engine snapshots and journal buffers instead of
+    /// reallocating them every round — epochs open and close millions of
+    /// times per run, and the snapshots dominate their cost.
+    spec_pool: Option<Box<SpecEpoch>>,
 }
 
 /// The undo journal of one CPU's speculative epoch. Armed when a widened
@@ -110,20 +115,40 @@ struct SpecEpoch {
 /// provably node-local steps can mutate and arms the cache undo journals.
 fn arm_epoch(node: &mut Node, core: &CpuCore) {
     debug_assert!(node.spec.is_none(), "epoch already armed");
-    node.spec = Some(Box::new(SpecEpoch {
-        keys: Vec::new(),
-        core: Box::new(core.clone()),
-        engine: Box::new(node.engine.clone()),
-        rng: node.rng.clone(),
-        last_ifetch: node.last_ifetch,
-        icache_installs: node.icache_installs,
-        last_ifetch_installs: node.last_ifetch_installs,
-        last_ifetch_page_epoch: node.last_ifetch_page_epoch,
-        last_data: node.last_data,
-        coalesced: node.coalesced,
-        stm: node.stm.clone(),
-        mem_journal: Vec::new(),
-    }));
+    let mut ep = match node.spec_pool.take() {
+        // Recycle the retired epoch: the boxes and the key/journal vector
+        // capacities survive, only the snapshot contents are refreshed.
+        Some(mut ep) => {
+            ep.keys.clear();
+            ep.mem_journal.clear();
+            (*ep.core).clone_from(core);
+            (*ep.engine).clone_from(&node.engine);
+            ep.rng.clone_from(&node.rng);
+            ep.stm.clone_from(&node.stm);
+            ep
+        }
+        None => Box::new(SpecEpoch {
+            keys: Vec::new(),
+            core: Box::new(core.clone()),
+            engine: Box::new(node.engine.clone()),
+            rng: node.rng.clone(),
+            last_ifetch: None,
+            icache_installs: 0,
+            last_ifetch_installs: 0,
+            last_ifetch_page_epoch: 0,
+            last_data: None,
+            coalesced: 0,
+            stm: node.stm.clone(),
+            mem_journal: Vec::new(),
+        }),
+    };
+    ep.last_ifetch = node.last_ifetch;
+    ep.icache_installs = node.icache_installs;
+    ep.last_ifetch_installs = node.last_ifetch_installs;
+    ep.last_ifetch_page_epoch = node.last_ifetch_page_epoch;
+    ep.last_data = node.last_data;
+    ep.coalesced = node.coalesced;
+    node.spec = Some(ep);
     node.cache.undo_arm();
     node.icache.undo_arm();
 }
@@ -347,7 +372,84 @@ pub struct System {
     shard_rollbacks: u64,
     /// Steps re-executed by rollback replays.
     shard_replayed: u64,
+    /// Rollbacks by cause bucket: tx-side (abort/TDB naming), fabric-side
+    /// (data-fetch naming), and resolve-everyone events (timer, quiesce,
+    /// OS, budget frontiers). Sums to `shard_rollbacks`.
+    shard_rb_tx: u64,
+    shard_rb_fabric: u64,
+    shard_rb_quiesce: u64,
+    /// Contention-adaptive admission windows (`ZTM_SHARD_ADAPT`, default
+    /// on): with no pinned `ZTM_SHARD_WINDOW`, every CPU starts at the
+    /// structural cross-boundary bound and then earns its width — a
+    /// rollback shrinks its window multiplicatively, a finalized-clean
+    /// epoch grows it additively, and CPUs the [`GlobalTouch`] classifier
+    /// keeps naming clamp to the conservative 1-cycle slack. All state
+    /// here is a pure function of the deterministic step/rollback history,
+    /// never of the host thread count, so simulated output stays
+    /// byte-identical for any `ZTM_SIM_THREADS`.
+    shard_adapt: bool,
+    /// Per-CPU adaptive window in cycles (`1..=adapt_max`); empty until
+    /// the first adaptive round engages.
+    adapt_win: Vec<u64>,
+    /// Per-CPU `GlobalTouch` naming pressure, bumped each time a bounded
+    /// touch set names the CPU *and cuts one of its open epochs*, decayed
+    /// once per sweep. At [`ADAPT_CLAMP_AT`] and above the CPU is clamped
+    /// to window 1.
+    adapt_touch: Vec<u32>,
+    /// Coordinator-serial global steps executed in adaptive rounds — the
+    /// deterministic clock that paces decay/regrowth sweeps.
+    adapt_ticks: u64,
+    /// Whether the current (or latest) sharded run adapts windows, and the
+    /// structural ceiling it adapts toward. Set by `run_sharded_upto`.
+    adapt_active: bool,
+    adapt_max: u64,
 }
+
+/// Multiplicative window shrink on rollback: halving converges on the
+/// workload's survivable width in a few rollbacks without overshooting
+/// all the way to the conservative slack on one unlucky cut.
+const ADAPT_SHRINK_DIV: u64 = 2;
+/// Shrink floor, in cycles. Below roughly the on-chip latency slack a
+/// rollback cuts almost nothing (the cut lands at the epoch head and
+/// replays no prefix), so speculation is nearly free — shrinking further
+/// would shed round candidacy without saving any replay work. Only the
+/// [`ADAPT_CLAMP_AT`] clamp, which needs *sustained* naming pressure,
+/// pushes a CPU below this to the conservative window.
+const ADAPT_FLOOR: u64 = 16;
+/// Additive window growth per finalized-clean epoch, in cycles.
+const ADAPT_GROW: u64 = 6;
+/// Adaptive growth ceiling, in cycles. Width far beyond the floor stops
+/// buying admission and starts costing it: run-ahead desynchronizes the
+/// CPUs' clocks by up to a window, so a wide-window CPU races hundreds
+/// of cycles ahead while narrow ones drop out of candidacy around the
+/// serial minimum — rounds *shrink* as windows grow past a few times
+/// the floor, and each rollback cuts a much deeper epoch (at 144 CPUs,
+/// a `[16, 48]` band replays 3.5× the steps of fixed width 16 for
+/// *smaller* rounds). Adaptive windows therefore live in the tight
+/// `[ADAPT_FLOOR, ADAPT_CAP]` band (clamped CPUs aside); an explicit
+/// `ZTM_SHARD_WINDOW` still pins any width up to the structural bound.
+const ADAPT_CAP: u64 = 24;
+/// Naming pressure at which a CPU clamps to the conservative window.
+/// A clamped CPU crawls one provable cycle per round, and the round
+/// minimum cannot advance past it — so a clamp throttles the *whole
+/// machine* to the crawler's pace, a price only worth paying for a CPU
+/// whose epochs are damaged on nearly every serialized step. With
+/// pressure halving every sweep, a sustained rate of `r` damaging cuts
+/// per sweep equilibrates the score at `2r` — so a clamp engages only
+/// for a CPU damaged on better than one in four serialized steps
+/// ([`ADAPT_SWEEP`]/4 cuts per sweep), a true pathology. The margin
+/// matters: the hottest CPUs of a symmetric workload (fig 5(e) at 144
+/// CPUs sustains ~25 damaging cuts per sweep) must equilibrate *well*
+/// below this, or they oscillate across the threshold and the machine
+/// is throttled by ever-changing crawlers; the multiplicative shrink
+/// alone prices that benign regime.
+const ADAPT_CLAMP_AT: u32 = 128;
+/// Naming-pressure ceiling: bounds how long a clamp outlives the
+/// contention that caused it (pressure halves every sweep).
+const ADAPT_SCORE_MAX: u32 = 256;
+/// Global steps between adaptation sweeps (pressure decay + regrowth
+/// probes for CPUs too narrow to speculate their way back up).
+const ADAPT_SWEEP: u64 = 256;
 
 /// The issue windows plus the width they were built with (cached for trace
 /// emission without re-asking each window).
@@ -391,6 +493,7 @@ impl System {
                 coalesced: 0,
                 stm: crate::report::StmCounts::default(),
                 spec: None,
+                spec_pool: None,
             })
             .collect();
         let fabric = match config.l3_geometry {
@@ -442,6 +545,15 @@ impl System {
             shard_chain_max: 0,
             shard_rollbacks: 0,
             shard_replayed: 0,
+            shard_rb_tx: 0,
+            shard_rb_fabric: 0,
+            shard_rb_quiesce: 0,
+            shard_adapt: crate::env_flag_on("ZTM_SHARD_ADAPT"),
+            adapt_win: Vec::new(),
+            adapt_touch: Vec::new(),
+            adapt_ticks: 0,
+            adapt_active: false,
+            adapt_max: 1,
             config,
         }
     }
@@ -609,6 +721,18 @@ impl System {
     pub fn set_shard_window(&mut self, window: usize) {
         assert!(window > 0, "shard window must be positive");
         self.shard_window = Some(window);
+    }
+
+    /// Enables or disables contention-adaptive admission windows (also
+    /// settable at construction via `ZTM_SHARD_ADAPT`, default on). Off
+    /// reproduces the fixed-window regime: every CPU speculates to the
+    /// full structural bound regardless of rollback history. A pinned
+    /// [`set_shard_window`](Self::set_shard_window) also disables
+    /// adaptation — an explicit width means exactly that width. Results
+    /// are byte-identical either way; adaptation only trades round size
+    /// against rollback frequency, per CPU instead of globally.
+    pub fn set_shard_adapt(&mut self, on: bool) {
+        self.shard_adapt = on;
     }
 
     /// Sets the per-chain run-ahead ceiling (also settable at construction
@@ -1239,7 +1363,7 @@ impl System {
     /// executes, against the same state the step will see, so the fabric
     /// and directory walks are exact. Mirrors [`classify_step_at`]'s
     /// reasons for going global, branch for branch.
-    fn global_touch(&self, i: usize) -> GlobalTouch {
+    fn global_touch(&self, i: usize) -> (GlobalTouch, RollbackCause) {
         let node = &self.nodes[i];
         let core = &self.cores[i];
         let clock = self.hot_clock[i];
@@ -1247,7 +1371,7 @@ impl System {
         // processing interrupts the OS (prefix TDB store, page-ins).
         if let Some(t) = self.config.timer_interval {
             if clock - node.last_timer >= t {
-                return GlobalTouch::All;
+                return (GlobalTouch::All, RollbackCause::Quiesce);
             }
         }
         if let Some(cause) = node.engine.pending_abort() {
@@ -1262,10 +1386,10 @@ impl System {
                 || core.per.enabled
                 || node.engine.tdc_active()
             {
-                return GlobalTouch::All;
+                return (GlobalTouch::All, RollbackCause::Quiesce);
             }
             return match node.engine.tdb_addr() {
-                None => GlobalTouch::Confined,
+                None => (GlobalTouch::Confined, RollbackCause::Tx),
                 Some(addr) => {
                     let mut cpus = Vec::new();
                     let last = addr.add(255).line();
@@ -1282,23 +1406,25 @@ impl System {
                         }
                         line = LineAddr::new(line.index() + 1);
                     }
-                    GlobalTouch::Cpus(cpus)
+                    (GlobalTouch::Cpus(cpus), RollbackCause::Tx)
                 }
             };
         }
         if core.per.enabled || node.engine.tdc_active() {
-            return GlobalTouch::All; // debug modes: resolve, don't reason
+            // Debug modes: resolve, don't reason.
+            return (GlobalTouch::All, RollbackCause::Quiesce);
         }
         let in_tx = node.engine.in_tx();
         if in_tx && node.engine.constrained() {
-            return GlobalTouch::All; // constraint violations escalate
+            // Constraint violations escalate (possibly to broadcast-stop).
+            return (GlobalTouch::All, RollbackCause::Quiesce);
         }
         let prog = self.programs[i].as_ref().expect("program loaded");
         let d = prog.decoded(core.pc);
         // A text page-in bumps the page-residency epoch, invalidating
         // every CPU's line windows and ifetch snapshots mid-epoch.
         if self.pages.check(Address::new(d.addr)).is_err() {
-            return GlobalTouch::All;
+            return (GlobalTouch::All, RollbackCause::Quiesce);
         }
         if in_tx
             && matches!(
@@ -1306,7 +1432,7 @@ impl System {
                 InstrClass::RestrictedInTx | InstrClass::ArModifying | InstrClass::FprModifying
             )
         {
-            return GlobalTouch::All;
+            return (GlobalTouch::All, RollbackCause::Tx);
         }
         match d.op {
             // Engine-only transaction bookkeeping. A TEND commit drains
@@ -1315,20 +1441,35 @@ impl System {
             // verdict), a TABORT or nested-TBEGIN overflow only sets the
             // pending cause, and TBEGINC's broadcast-stop happens at the
             // *abort* step, covered by the constrained branch above.
-            Op::Tbegin | Op::Tbeginc | Op::Tend | Op::Tabort => GlobalTouch::Confined,
-            Op::Lg => self.data_touch(i, d, d.flags & FLAG_FOR_UPDATE != 0, AccessClass::Fetch),
-            Op::Ltg | Op::Cg => self.data_touch(i, d, false, AccessClass::Fetch),
-            Op::Stg | Op::Stckf | Op::Csg => self.data_touch(i, d, true, AccessClass::Store),
+            Op::Tbegin | Op::Tbeginc | Op::Tend | Op::Tabort => {
+                (GlobalTouch::Confined, RollbackCause::Tx)
+            }
+            Op::Lg => (
+                self.data_touch(i, d, d.flags & FLAG_FOR_UPDATE != 0, AccessClass::Fetch),
+                RollbackCause::Fabric,
+            ),
+            Op::Ltg | Op::Cg => (
+                self.data_touch(i, d, false, AccessClass::Fetch),
+                RollbackCause::Fabric,
+            ),
+            Op::Stg | Op::Stckf | Op::Csg => (
+                self.data_touch(i, d, true, AccessClass::Store),
+                RollbackCause::Fabric,
+            ),
             Op::Ntstg => {
                 if !effective_address_decoded(core, d).is_aligned(8) {
-                    return GlobalTouch::All; // specification exception → OS
+                    // Specification exception → OS.
+                    return (GlobalTouch::All, RollbackCause::Quiesce);
                 }
-                self.data_touch(i, d, true, AccessClass::Store)
+                (
+                    self.data_touch(i, d, true, AccessClass::Store),
+                    RollbackCause::Fabric,
+                )
             }
             // Dsgr division by zero (the only global verdict left for it)
             // raises a program exception, and anything unrecognized
             // resolves everything rather than reasons about it.
-            _ => GlobalTouch::All,
+            _ => (GlobalTouch::All, RollbackCause::Quiesce),
         }
     }
 
@@ -1397,11 +1538,15 @@ impl System {
     }
 
     /// Closes CPU `j`'s speculative epoch as final (the frontier passed
-    /// it, or a resolution proved it untouched): drops the journals.
+    /// it, or a resolution proved it untouched): drops the journals,
+    /// recycles the snapshot box for the next epoch, and rewards the CPU
+    /// with additive window growth — its speculation survived.
     fn finalize_epoch(&mut self, j: usize) {
-        if self.nodes[j].spec.take().is_some() {
+        if let Some(ep) = self.nodes[j].spec.take() {
             self.nodes[j].cache.undo_discard();
             self.nodes[j].icache.undo_discard();
+            self.nodes[j].spec_pool = Some(ep);
+            self.adapt_grow(j);
         }
     }
 
@@ -1411,6 +1556,7 @@ impl System {
         &mut self,
         j: usize,
         cut: (u64, usize),
+        cause: RollbackCause,
         plan: &ShardPlan,
         shard_tracers: &[Tracer],
     ) -> u64 {
@@ -1422,7 +1568,7 @@ impl System {
             self.finalize_epoch(j);
             0
         } else {
-            self.rollback_epoch_to(j, keep, cut, plan, shard_tracers)
+            self.rollback_epoch_to(j, keep, cut, cause, plan, shard_tracers)
         }
     }
 
@@ -1436,6 +1582,7 @@ impl System {
         &mut self,
         g: (u64, usize),
         touch: GlobalTouch,
+        cause: RollbackCause,
         plan: &ShardPlan,
         shard_tracers: &[Tracer],
     ) -> u64 {
@@ -1448,14 +1595,14 @@ impl System {
                 cpus.dedup();
                 for j in cpus {
                     if j != g.1 {
-                        undone += self.resolve_epoch_past(j, g, plan, shard_tracers);
+                        undone += self.resolve_epoch_past(j, g, cause, plan, shard_tracers);
                     }
                 }
             }
             GlobalTouch::All => {
                 for j in 0..self.nodes.len() {
                     if j != g.1 {
-                        undone += self.resolve_epoch_past(j, g, plan, shard_tracers);
+                        undone += self.resolve_epoch_past(j, g, cause, plan, shard_tracers);
                     }
                 }
             }
@@ -1494,7 +1641,8 @@ impl System {
             if j == cut.1 {
                 self.finalize_epoch(j);
             } else {
-                undone += self.resolve_epoch_past(j, cut, plan, shard_tracers);
+                undone +=
+                    self.resolve_epoch_past(j, cut, RollbackCause::Quiesce, plan, shard_tracers);
             }
         }
         undone
@@ -1515,10 +1663,11 @@ impl System {
         j: usize,
         keep: usize,
         cut: (u64, usize),
+        cause: RollbackCause,
         plan: &ShardPlan,
         shard_tracers: &[Tracer],
     ) -> u64 {
-        let ep = *self.nodes[j]
+        let mut ep = self.nodes[j]
             .spec
             .take()
             .expect("rollback without an epoch");
@@ -1527,19 +1676,21 @@ impl System {
         for &(addr, byte) in ep.mem_journal.iter().rev() {
             self.mem.store_bytes(addr, &[byte]);
         }
+        // Swap the snapshots back in (rather than moving out of the box) so
+        // the box and its buffers recycle into the epoch pool below.
         let node = &mut self.nodes[j];
         node.cache.undo_rollback();
         node.icache.undo_rollback();
-        node.engine = *ep.engine;
-        node.rng = ep.rng;
+        std::mem::swap(&mut node.engine, &mut *ep.engine);
+        std::mem::swap(&mut node.rng, &mut ep.rng);
         node.last_ifetch = ep.last_ifetch;
         node.icache_installs = ep.icache_installs;
         node.last_ifetch_installs = ep.last_ifetch_installs;
         node.last_ifetch_page_epoch = ep.last_ifetch_page_epoch;
         node.last_data = ep.last_data;
         node.coalesced = ep.coalesced;
-        node.stm = ep.stm;
-        self.cores[j] = *ep.core;
+        std::mem::swap(&mut node.stm, &mut ep.stm);
+        std::mem::swap(&mut self.cores[j], &mut *ep.core);
         // Kept keys precede the cut and undone keys follow it (`j` never
         // ties the cut), so a key comparison splits the pending output.
         self.pending_log
@@ -1584,7 +1735,91 @@ impl System {
         self.sharded_local_steps -= undone;
         self.shard_rollbacks += 1;
         self.shard_replayed += keep as u64;
+        match cause {
+            RollbackCause::Tx => self.shard_rb_tx += 1,
+            RollbackCause::Fabric => self.shard_rb_fabric += 1,
+            RollbackCause::Quiesce => self.shard_rb_quiesce += 1,
+        }
+        // Punish the rollback multiplicatively, score the contention that
+        // caused it, and recycle the snapshot box.
+        self.adapt_shrink(j);
+        if matches!(cause, RollbackCause::Tx | RollbackCause::Fabric) {
+            self.adapt_name(j);
+        }
+        self.nodes[j].spec_pool = Some(ep);
         undone
+    }
+
+    /// CPU `i`'s effective admission window: the conservative 1-cycle
+    /// slack while the touch score holds it clamped (a contended CPU —
+    /// lock-line holder, XI magnet — never opens epochs at all), its
+    /// adaptive window otherwise.
+    fn eff_win(&self, i: usize) -> u64 {
+        if self.adapt_touch[i] >= ADAPT_CLAMP_AT {
+            1
+        } else {
+            self.adapt_win[i]
+        }
+    }
+
+    /// Multiplicative shrink on a rollback: the CPU speculated past a
+    /// global step's key and paid for it, so its window collapses toward
+    /// [`ADAPT_FLOOR`] — the width where rollbacks stop cutting any real
+    /// prefix. Only the clamp goes below that.
+    fn adapt_shrink(&mut self, j: usize) {
+        if self.adapt_active && !self.adapt_win.is_empty() {
+            let floor = ADAPT_FLOOR.min(self.adapt_max);
+            self.adapt_win[j] = (self.adapt_win[j] / ADAPT_SHRINK_DIV).max(floor);
+        }
+    }
+
+    /// Additive growth on a finalized-clean epoch: speculation survived,
+    /// so the window creeps back toward the structural latency bound.
+    fn adapt_grow(&mut self, j: usize) {
+        if self.adapt_active && !self.adapt_win.is_empty() {
+            self.adapt_win[j] = (self.adapt_win[j] + ADAPT_GROW).min(self.adapt_max);
+        }
+    }
+
+    /// Bumps CPU `j`'s touch score (saturating): a bounded `GlobalTouch`
+    /// set named it *and the naming cut an open epoch* — the CPU holds
+    /// lines that serialized steps keep reaching while it speculates.
+    /// Mere naming without damage is not scored (in a hot workload every
+    /// fabric step names most holders, which would drown the signal), and
+    /// neither are `Quiesce` cuts (timers and budget frontiers say nothing
+    /// about who is contended).
+    fn adapt_name(&mut self, j: usize) {
+        if self.adapt_active && !self.adapt_touch.is_empty() {
+            self.adapt_touch[j] = (self.adapt_touch[j] + 1).min(ADAPT_SCORE_MAX);
+        }
+    }
+
+    /// Per-global-step adaptation clock. Every [`ADAPT_SWEEP`] serialized
+    /// steps the touch scores *halve* — contention is forgiven fast once
+    /// the naming stops, and holding a clamp needs a sustained naming rate
+    /// of ~[`ADAPT_CLAMP_AT`] damaging cuts per sweep — and every
+    /// unclamped CPU's window regrows by a one-cycle probe, so a width
+    /// lost to a past contention phase drifts back toward the structural
+    /// bound even when the CPU rarely opens epochs. Driven purely by the
+    /// deterministic serialized-step count, never host time or thread
+    /// count.
+    fn adapt_tick(&mut self) {
+        if !self.adapt_active || self.adapt_win.is_empty() {
+            return;
+        }
+        self.adapt_ticks += 1;
+        if !self.adapt_ticks.is_multiple_of(ADAPT_SWEEP) {
+            return;
+        }
+        for i in 0..self.adapt_win.len() {
+            self.adapt_touch[i] /= 2;
+            if self.adapt_touch[i] < ADAPT_CLAMP_AT {
+                // A one-cycle probe: enough to let a fully-shrunk CPU open
+                // a (tiny, cheap) epoch again and earn real growth through
+                // clean finalizes if the contention has moved on.
+                self.adapt_win[i] = (self.adapt_win[i] + 1).min(self.adapt_max);
+            }
+        }
     }
 
     /// Runs up to `limit` steps through the sharded round scheduler,
@@ -1660,6 +1895,20 @@ impl System {
             },
             |w| w as u64,
         );
+        // Contention adaptation engages only for the *default* (structural)
+        // window: an explicit `ZTM_SHARD_WINDOW` pin means "exactly this
+        // width", and window 1 has nothing to adapt. Adaptation state is a
+        // pure function of the deterministic serialized-step and rollback
+        // history, so results stay byte-identical for any thread count —
+        // and for `ZTM_SHARD_ADAPT=0`, which merely trades rounds for
+        // rollbacks on the same serial step sequence.
+        let adaptive = self.shard_adapt && self.shard_window.is_none() && window > 1;
+        self.adapt_active = adaptive;
+        self.adapt_max = window.min(ADAPT_CAP);
+        if adaptive && self.adapt_win.len() != self.hot_clock.len() {
+            self.adapt_win = vec![self.adapt_max; self.hot_clock.len()];
+            self.adapt_touch = vec![0; self.hot_clock.len()];
+        }
 
         let mut executed = 0u64;
         let mut cands: Vec<Candidate> = Vec::new();
@@ -1749,13 +1998,23 @@ impl System {
             let ceiling = horizon.map_or((u64::MAX, usize::MAX), |hz| (hz, 0));
             if window > 1 && !conservative_tail {
                 // --- Slack-width (speculative) admission ---
+                // Each CPU joins the round only while its key lies within
+                // its *own* effective window of the minimum: the full
+                // structural slack while its speculation keeps surviving,
+                // the provable 1-cycle slack while the controller holds it
+                // clamped. CPUs outside their window still bound the
+                // journal-free horizon at their current key (they could go
+                // global the moment they become schedulable).
                 cands.clear();
+                let mut outside = (u64::MAX, usize::MAX);
                 for i in 0..self.hot_clock.len() {
-                    if self.hot_running[i]
-                        && self.programs[i].is_some()
-                        && self.hot_clock[i] <= min_clock.saturating_add(window)
-                    {
-                        cands.push(self.classify_step(i));
+                    if self.hot_running[i] && self.programs[i].is_some() {
+                        let w = if adaptive { self.eff_win(i) } else { window };
+                        if self.hot_clock[i] <= min_clock.saturating_add(w) {
+                            cands.push(self.classify_step(i));
+                        } else {
+                            outside = outside.min((self.hot_clock[i], i));
+                        }
                     }
                 }
                 let serial_global = cands
@@ -1771,13 +2030,15 @@ impl System {
                     // clock, hence the `+ 1` — and serialize the step.
                     // Untouched speculation with larger keys stays pending
                     // and is released once the frontier passes it.
-                    let touch = self.global_touch(min_cpu);
+                    let (touch, cause) = self.global_touch(min_cpu);
                     executed -= self.resolve_epochs_for_global(
                         (min_clock, min_cpu),
                         touch,
+                        cause,
                         &plan,
                         &shard_tracers,
                     );
+                    self.adapt_tick();
                     self.flush_pending_below((min_clock, min_cpu + 1), &real);
                     self.exec_global_round(
                         min_cpu,
@@ -1789,27 +2050,53 @@ impl System {
                     executed += 1;
                     continue;
                 }
-                // Admit every local candidate below the ceiling. Global
-                // candidates above the minimum simply wait — speculation
-                // may pass their keys and is rolled back if their side
-                // effects demand it when they serialize.
-                cands.retain(|c| !c.global && (c.clock, c.cpu) < ceiling);
-                cands.sort_unstable_by_key(|c| (c.clock, c.cpu));
+                // Admit every local candidate below the ceiling whose key
+                // precedes its bound. Global candidates above the minimum
+                // simply wait — speculation may pass their keys and is
+                // rolled back if their side effects demand it when they
+                // serialize. Each admitted step carries two keys: `safe`,
+                // the smallest earliest-possible-global key of any *other*
+                // CPU (below it steps are provably final and run without a
+                // journal — PR 7's conservative argument), and `bound`,
+                // the speculative ceiling `min + w + 1` past which the
+                // chain must stop. A clamped CPU (w = 1) gets
+                // `bound == safe`: it never arms an epoch at all.
+                let eg = EgMin::new(&cands);
+                let mut steps: Vec<ShardStep> = Vec::with_capacity(cands.len());
+                for (at, c) in cands.iter().enumerate() {
+                    if c.global || (c.clock, c.cpu) >= ceiling {
+                        continue;
+                    }
+                    let safe = eg.excluding(at).min(outside).min(ceiling);
+                    let w = if adaptive {
+                        self.eff_win(c.cpu)
+                    } else {
+                        window
+                    };
+                    let bound = if w > 1 {
+                        safe.max((min_clock.saturating_add(w).saturating_add(1), 0).min(ceiling))
+                    } else {
+                        safe
+                    };
+                    if (c.clock, c.cpu) < bound {
+                        steps.push(ShardStep {
+                            cpu: c.cpu,
+                            clock: c.clock,
+                            bound,
+                            safe,
+                        });
+                    }
+                }
+                steps.sort_unstable_by_key(|s| (s.clock, s.cpu));
                 // Same budget math as the conservative path: take · cap
                 // never exceeds the remaining budget (integer division),
                 // so `executed` can reach `limit` but never overshoot it.
+                // The serial-minimum step is always admitted (every other
+                // CPU's bound exceeds its key), so `take >= 1`.
                 let remaining = limit - executed;
-                let take = (cands.len() as u64).min(remaining) as usize;
+                let take = (steps.len() as u64).min(remaining) as usize;
+                steps.truncate(take);
                 let cap = (remaining / take as u64).clamp(1, self.run_ahead_cap);
-                let bound = (min_clock.saturating_add(window).saturating_add(1), 0).min(ceiling);
-                let steps: Vec<ShardStep> = cands[..take]
-                    .iter()
-                    .map(|c| ShardStep {
-                        cpu: c.cpu,
-                        clock: c.clock,
-                        bound,
-                    })
-                    .collect();
                 executed += self.exec_local_round(
                     &steps,
                     cap,
@@ -1872,10 +2159,16 @@ impl System {
             let cap = (remaining / take as u64).clamp(1, self.run_ahead_cap);
             let steps: Vec<ShardStep> = safe[..take]
                 .iter()
-                .map(|&(at, bound)| ShardStep {
-                    cpu: cands[at].cpu,
-                    clock: cands[at].clock,
-                    bound: bound.min(outside).min(ceiling),
+                .map(|&(at, bound)| {
+                    let b = bound.min(outside).min(ceiling);
+                    ShardStep {
+                        cpu: cands[at].cpu,
+                        clock: cands[at].clock,
+                        bound: b,
+                        // `safe == bound`: every conservative step is
+                        // provably final, so no chain ever arms an epoch.
+                        safe: b,
+                    }
                 })
                 .collect();
             executed += self.exec_local_round(
@@ -2210,15 +2503,41 @@ impl System {
             xi_counts: self.fabric.xi_counts(),
             coalesced_accesses: self.nodes.iter().map(|n| n.coalesced).sum(),
             stm,
-            sharding: crate::report::ShardingStats {
-                rounds: self.shard_rounds,
-                local_steps: self.sharded_local_steps,
-                round_steps_max: self.shard_round_max,
-                chain_max: self.shard_chain_max,
-                rollbacks: self.shard_rollbacks,
-                replayed: self.shard_replayed,
-            },
+            sharding: self.sharding_stats(),
         }
+    }
+
+    /// Sharded-driver schedule statistics, including the end-of-run
+    /// adaptive-window summary (all-zero window fields when adaptation
+    /// never engaged).
+    fn sharding_stats(&self) -> crate::report::ShardingStats {
+        let mut s = crate::report::ShardingStats {
+            rounds: self.shard_rounds,
+            local_steps: self.sharded_local_steps,
+            round_steps_max: self.shard_round_max,
+            chain_max: self.shard_chain_max,
+            rollbacks: self.shard_rollbacks,
+            replayed: self.shard_replayed,
+            rollbacks_tx: self.shard_rb_tx,
+            rollbacks_fabric: self.shard_rb_fabric,
+            rollbacks_quiesce: self.shard_rb_quiesce,
+            ..Default::default()
+        };
+        if self.adapt_active && !self.adapt_win.is_empty() {
+            let mut min = u64::MAX;
+            for i in 0..self.adapt_win.len() {
+                let w = self.eff_win(i);
+                min = min.min(w);
+                s.window_max = s.window_max.max(w);
+                s.window_sum += w;
+                if self.adapt_touch[i] >= ADAPT_CLAMP_AT {
+                    s.window_clamped += 1;
+                }
+            }
+            s.window_min = min;
+            s.window_cpus = self.adapt_win.len() as u64;
+        }
+        s
     }
 }
 
@@ -2241,14 +2560,41 @@ enum GlobalTouch {
     All,
 }
 
+/// Why a resolution rolled an epoch back — the feedback signal the
+/// adaptive windows consume and the breakdown
+/// [`ShardingStats`](crate::ShardingStats) reports. Classified from the
+/// *global step* that forced the cut, not from the victim.
+#[derive(Debug, Clone, Copy)]
+enum RollbackCause {
+    /// Transaction-side serialization: abort processing and the TDB
+    /// stores it performs, or a restricted instruction inside a
+    /// transaction.
+    Tx,
+    /// A fabric-touching data access: the victim held (or could victimize
+    /// lines for) an address the coordinator's step reached.
+    Fabric,
+    /// Everything that resolves *everyone*: timer ticks, quiesce and
+    /// broadcast-stop escalations, OS interruptions, page-ins, debug
+    /// modes — plus step-budget frontier resolutions.
+    Quiesce,
+}
+
 /// One admitted round entry: CPU `cpu`'s step at `clock`, plus the key
 /// `bound` below which the shard may keep running this CPU's own
 /// provably-local steps (run-ahead) before the coordinator re-plans.
+///
+/// Keys strictly below `safe` — the smallest earliest-possible-global key
+/// of any *other* CPU at planning time — are provably final (no future
+/// global step can cut below them) and execute without journaling. At
+/// `safe` the chain arms a speculative epoch and journals the rest of the
+/// way to `bound`. Conservative rounds set `safe == bound`, so they never
+/// open an epoch.
 #[derive(Debug, Clone, Copy)]
 struct ShardStep {
     cpu: usize,
     clock: u64,
     bound: (u64, usize),
+    safe: (u64, usize),
 }
 
 /// Per-chain run-ahead ceiling: bounds a lone unconstrained CPU's chain so
@@ -2300,24 +2646,33 @@ fn run_shard_steps(
         blocks: Vec::new(),
         chain_max: 0,
     };
-    for &ShardStep { cpu, clock, bound } in work {
+    for &ShardStep {
+        cpu,
+        clock,
+        bound,
+        safe,
+    } in work
+    {
         let at = cpu - base;
         debug_assert_eq!(hot_clock[at], clock, "stale round plan");
         debug_assert!(
             spec || nodes[at].spec.is_none(),
             "undo journal armed outside a speculative round"
         );
-        // Speculative rounds journal every step until the coordinator's
-        // frontier passes its key: arm an epoch on first touch (one may
-        // already be open from an earlier round of the same call).
-        if spec && nodes[at].spec.is_none() {
-            arm_epoch(&mut nodes[at], &cores[at]);
-        }
         let prog = programs[cpu].as_ref().expect("program loaded");
         let mut clock = clock;
         let mut budget = cap;
         let mut chain = 0u64;
         loop {
+            // Keys below `safe` are provably final and run journal-free;
+            // the first key at or past it arms a speculative epoch (one
+            // may already be open from an earlier round of the same call —
+            // then every step journals, wherever it lies: an epoch's
+            // replay must cover the full suffix from its snapshot).
+            if (clock, cpu) >= safe && nodes[at].spec.is_none() {
+                debug_assert!(spec, "speculative key admitted to a conservative round");
+                arm_epoch(&mut nodes[at], &cores[at]);
+            }
             tracer.set_clock(clock);
             let mut view = View {
                 cpu,
@@ -3584,6 +3939,86 @@ mod tests {
         a.ppa(R0);
         a.j("loop");
         a.assemble().unwrap()
+    }
+
+    /// The admission-window controller in isolation: multiplicative
+    /// shrink to the floor, additive regrowth to the structural bound,
+    /// clamp under sustained naming pressure, and sweep-decay release.
+    #[test]
+    fn adaptive_window_controller_transitions() {
+        let mut sys = System::new(SystemConfig::with_cpus(2));
+        sys.adapt_active = true;
+        sys.adapt_max = 350;
+        sys.adapt_win = vec![350; 2];
+        sys.adapt_touch = vec![0; 2];
+        // Runs enough ticks for exactly one decay/regrow sweep.
+        fn sweep(sys: &mut System) {
+            for _ in 0..ADAPT_SWEEP {
+                sys.adapt_tick();
+            }
+        }
+
+        // Multiplicative shrink halves per rollback, down to the floor
+        // where rollbacks stop cutting real prefixes — never below.
+        sys.adapt_shrink(0);
+        assert_eq!(sys.eff_win(0), 350 / ADAPT_SHRINK_DIV);
+        for _ in 0..10 {
+            sys.adapt_shrink(0);
+        }
+        assert_eq!(sys.eff_win(0), ADAPT_FLOOR);
+        assert_eq!(sys.eff_win(1), 350, "windows are per-CPU");
+
+        // Additive growth per finalized-clean epoch, capped at the
+        // structural latency bound.
+        sys.adapt_grow(0);
+        assert_eq!(sys.eff_win(0), ADAPT_FLOOR + ADAPT_GROW);
+        for _ in 0..1000 {
+            sys.adapt_grow(0);
+        }
+        assert_eq!(sys.eff_win(0), 350);
+
+        // Sustained naming pressure clamps the CPU to the conservative
+        // 1-cycle window without disturbing its stored width…
+        for _ in 0..ADAPT_CLAMP_AT {
+            sys.adapt_name(0);
+        }
+        assert_eq!(sys.eff_win(0), 1, "clamped CPU admits conservatively");
+        assert_eq!(sys.adapt_win[0], 350, "the stored width survives a clamp");
+        assert_eq!(sys.eff_win(1), 350, "the clamp is per-CPU");
+        // …and the score saturates, so a clamp cannot outlive its cause
+        // by more than a few sweeps.
+        for _ in 0..10_000 {
+            sys.adapt_name(0);
+        }
+        assert_eq!(sys.adapt_touch[0], ADAPT_SCORE_MAX);
+
+        // Pressure halves per quiet sweep: the clamp holds while the
+        // score sits at or above the threshold and releases as soon as
+        // it decays below, restoring the full stored width at once.
+        let mut sweeps = 0;
+        while sys.adapt_touch[0] >= ADAPT_CLAMP_AT {
+            assert_eq!(sys.eff_win(0), 1, "clamped at or above the threshold");
+            sweep(&mut sys);
+            sweeps += 1;
+        }
+        assert!(
+            (1..=8).contains(&sweeps),
+            "a clamp releases within a few quiet sweeps, not {sweeps}"
+        );
+        assert_eq!(sys.eff_win(0), 350, "release restores the stored width");
+
+        // The sweep probe regrows an unclamped CPU one cycle at a time,
+        // independent of whether it managed to finalize any epochs.
+        sys.adapt_win[1] = ADAPT_FLOOR;
+        sweep(&mut sys);
+        assert_eq!(sys.eff_win(1), ADAPT_FLOOR + 1);
+
+        // With adaptation off (fixed-window regime) the controller is
+        // inert: rollbacks and finalizes leave the widths alone.
+        sys.adapt_active = false;
+        sys.adapt_shrink(1);
+        sys.adapt_grow(0);
+        assert_eq!(sys.adapt_win, vec![350, ADAPT_FLOOR + 1]);
     }
 
     #[test]

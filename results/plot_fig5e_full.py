@@ -1,15 +1,19 @@
 #!/usr/bin/env python3
-"""Render the full-topology fig 5(e) sweep from BENCH_fig5e_hashtable_full.json.
+"""Render a full-topology sweep table from a BENCH_*.json artifact.
 
-Stdlib only (json + string formatting): reads the committed artifact's
-"sweep" table — the exact rows the fig5e binary printed — and renders
+Stdlib only (json + string formatting): reads the artifact's "sweep"
+table — the exact rows the figure binary printed — and renders
 
-  * an SVG line chart (fig5e_full.svg, log-y) with the zEC12 chip (6) and
-    book (36/72/108) coherence boundaries marked, and
-  * an ASCII summary of the step-function drops the lock and elision rows
-    show when the sweep crosses a boundary (the global-lock row loses
+  * an SVG line chart (log-y) with the zEC12 chip (6) and book
+    (36/72/108) coherence boundaries marked, and
+  * an ASCII summary of the step-function drops the rows show when the
+    sweep crosses a boundary (in fig 5(e), the global-lock row loses
     throughput at every book step; elision collapses between 72 and 144
     where cross-book XI latency exceeds the transactional window).
+
+Works on any artifact carrying a "sweep" table over a CPU-count x-axis:
+fig 5(e) (BENCH_fig5e_hashtable_full.json, the default) and fig 5(a)
+(BENCH_fig5a_pools_full.json, six lock/TBEGINC/TBEGIN × pool series).
 
 Usage: python3 results/plot_fig5e_full.py [path-to-json] [path-to-svg]
 """
@@ -20,7 +24,12 @@ import sys
 
 CHIP, BOOK, MAX_CPUS = 6, 36, 144
 W, H, ML, MR, MT, MB = 640, 400, 56, 16, 28, 44
-COLORS = {"lock": "#c44e52", "elision": "#4c72b0", "unsync": "#55a868"}
+COLORS = {
+    "lock": "#c44e52", "elision": "#4c72b0", "unsync": "#55a868",
+    # fig 5(a): warm tones for the small pool, cool for the large.
+    "lock_small": "#c44e52", "tbeginc_small": "#dd8452", "tbegin_small": "#937860",
+    "lock_large": "#8172b3", "tbeginc_large": "#4c72b0", "tbegin_large": "#55a868",
+}
 
 
 def load(path):

@@ -311,6 +311,85 @@ fn speculation_rollbacks_fire_and_are_invisible() {
     );
 }
 
+/// Contention-adaptive windows (the default) versus the fixed-window
+/// regime (`ZTM_SHARD_ADAPT=0`, here via the setter — env vars race across
+/// parallel tests): adaptation may only move *host* scheduling (round
+/// sizes, rollback counts), never a simulated byte. Step logs, reports,
+/// and the committed trace digest must be identical to each other and to
+/// the serial scheduler.
+#[test]
+fn adaptive_and_fixed_windows_are_byte_identical() {
+    let run = |threads: usize, adapt: bool| {
+        let bank = Bank::new(64, BankMethod::Tbegin);
+        let mut sys = System::new(SystemConfig::with_cpus(12).seed(9));
+        sys.set_sim_threads(threads);
+        sys.set_shard_round_min(1); // force the scoped-thread dispatch path
+        sys.set_shard_adapt(adapt);
+        sys.set_step_log(true);
+        let (tracer, sink) = Tracer::digest_only();
+        sys.set_tracer(tracer);
+        bank.run(&mut sys, 25);
+        let sharding = sys.report().sharding;
+        let report = det(&sys);
+        (sys.take_step_log(), report, sink.digest(), sharding)
+    };
+    let serial = run(1, true);
+    let adaptive = run(2, true);
+    let fixed = run(2, false);
+    // Non-vacuity: the adaptive run must actually adapt (window stats are
+    // only reported while the controller is live) and the fixed run must
+    // actually not.
+    assert!(
+        adaptive.3.window_cpus > 0,
+        "adaptation should be live on the wide default window: {:?}",
+        adaptive.3
+    );
+    assert_eq!(fixed.3.window_cpus, 0, "fixed regime reports no windows");
+    assert!(
+        adaptive.3.window_min < adaptive.3.window_max,
+        "the contended bank should shrink some windows: {:?}",
+        adaptive.3
+    );
+    for (name, other) in [("adaptive", &adaptive), ("fixed", &fixed)] {
+        assert_eq!(serial.0.len(), other.0.len(), "{name}: step count diverged");
+        for (at, (a, b)) in serial.0.iter().zip(&other.0).enumerate() {
+            assert_eq!(a, b, "{name}: first divergence at step {at}");
+        }
+        assert_eq!(serial.1, other.1, "{name}: report diverged");
+        assert_eq!(serial.2, other.2, "{name}: trace digest diverged");
+    }
+}
+
+/// The controller state is a pure function of the deterministic
+/// step/rollback history, so the *entire* sharding report — window
+/// extrema, clamp census, per-cause rollback counts, round and chain
+/// shapes — must be identical for any host thread count, not just the
+/// simulated outcome.
+#[test]
+fn adaptation_state_is_identical_across_thread_counts() {
+    let run = |threads: usize| {
+        let bank = Bank::new(64, BankMethod::Tbegin);
+        let mut sys = System::new(SystemConfig::with_cpus(48).seed(7));
+        sys.set_sim_threads(threads);
+        sys.set_shard_round_min(1); // force the scoped-thread dispatch path
+        bank.run(&mut sys, 25);
+        sys.report().sharding
+    };
+    let two = run(2);
+    let four = run(4);
+    assert!(
+        two.rollbacks > 0,
+        "the contended bank must roll back: {two:?}"
+    );
+    assert_eq!(
+        two.rollbacks,
+        two.rollbacks_tx + two.rollbacks_fabric + two.rollbacks_quiesce,
+        "every rollback must carry a cause: {two:?}"
+    );
+    assert!(two.window_cpus > 0, "adaptation should be live: {two:?}");
+    assert_eq!(two, four, "host thread count leaked into adaptation state");
+}
+
 proptest! {
     #![proptest_config(ProptestConfig {
         cases: 8, // each case runs two full multi-CPU simulations
@@ -371,6 +450,7 @@ proptest! {
         cross in 2u64..40,
         memory in 4u64..60,
         window in prop_oneof![Just(None), (1usize..96).prop_map(Some)],
+        adapt in any::<bool>(),
     ) {
         let run = |host_threads: usize| {
             let wl = PoolWorkload::new(PoolLayout::new(pool, 2), SyncMethod::Tbegin, seed);
@@ -381,6 +461,7 @@ proptest! {
             let mut sys = System::new(cfg);
             sys.set_sim_threads(host_threads);
             sys.set_shard_round_min(1); // force the scoped-thread dispatch path
+            sys.set_shard_adapt(adapt);
             sys.set_step_log(true);
             if let Some(w) = window {
                 sys.set_shard_window(w);
